@@ -1,0 +1,103 @@
+"""Ablation benches for the design decisions DESIGN.md calls out.
+
+Each ablation sweeps one knob of the paper's design on a four-benchmark
+subset and reports speedups relative to the 2-ported conventional base:
+
+* **detection point** — the pair predictor requires store-load ordering
+  checks at store *commit*; what would detection at *execute* cost/win?
+* **LFST counter width** — the paper states 3 bits suffice.
+* **early scheduling** — Section 3 forgoes speculative wakeup of load
+  dependents outside the head segment; toggle it.
+* **contention policy** — Section 3.2 squashes colliding in-flight
+  loads; the alternative stalls the pipelined search.
+"""
+
+from dataclasses import replace
+
+from repro.config import (
+    ContentionPolicy,
+    LsqConfig,
+    PredictorMode,
+    base_machine,
+    conventional_lsq,
+    segmented_lsq,
+    techniques_lsq,
+)
+from repro.stats.report import format_table
+
+from conftest import emit
+
+
+def _speedups(runner, lsq_variants, machine_for=None):
+    base = runner.run_lsq_suite(conventional_lsq(ports=2))
+    rows = []
+    for bench in runner.benchmarks:
+        row = [bench]
+        for label, variant in lsq_variants.items():
+            if machine_for is not None:
+                machine = machine_for(variant)
+            else:
+                machine = replace(base_machine(), lsq=variant)
+            ipc = runner.run(bench, machine).ipc
+            row.append(f"{(ipc / base[bench].ipc - 1) * 100:+.1f}%")
+        rows.append(row)
+    return rows, list(lsq_variants)
+
+
+def test_ablation_detection_point(benchmark, ablation_runner):
+    variants = {
+        "commit (paper)": techniques_lsq(ports=1),
+        "execute": replace(techniques_lsq(ports=1), detect_at_commit=False),
+    }
+    rows, labels = benchmark.pedantic(
+        lambda: _speedups(ablation_runner, variants), rounds=1, iterations=1)
+    emit("ablation_detection_point", format_table(
+        ["bench"] + labels, rows,
+        title="Ablation: store-load violation detection point "
+              "(1-ported pair predictor + load buffer)"))
+
+
+def test_ablation_counter_bits(benchmark, ablation_runner):
+    def machine_for(bits):
+        machine = base_machine()
+        return replace(machine, lsq=techniques_lsq(ports=1),
+                       store_sets=replace(machine.store_sets,
+                                          counter_bits=bits))
+
+    variants = {f"{bits}-bit": bits for bits in (1, 2, 3, 4)}
+    rows, labels = benchmark.pedantic(
+        lambda: _speedups(ablation_runner, variants, machine_for),
+        rounds=1, iterations=1)
+    emit("ablation_counter_bits", format_table(
+        ["bench"] + labels, rows,
+        title="Ablation: LFST in-flight-store counter width "
+              "(paper: 3 bits suffice)"))
+
+
+def test_ablation_early_scheduling(benchmark, ablation_runner):
+    variants = {
+        "head-only (paper)": segmented_lsq(ports=2),
+        "always-early": replace(segmented_lsq(ports=2),
+                                early_scheduling_head_only=False),
+    }
+    rows, labels = benchmark.pedantic(
+        lambda: _speedups(ablation_runner, variants), rounds=1, iterations=1)
+    emit("ablation_early_scheduling", format_table(
+        ["bench"] + labels, rows,
+        title="Ablation: early scheduling of load dependents in the "
+              "segmented LSQ"))
+
+
+def test_ablation_contention_policy(benchmark, ablation_runner):
+    variants = {
+        "squash (paper)": replace(segmented_lsq(ports=1),
+                                  contention=ContentionPolicy.SQUASH),
+        "stall": replace(segmented_lsq(ports=1),
+                         contention=ContentionPolicy.STALL),
+    }
+    rows, labels = benchmark.pedantic(
+        lambda: _speedups(ablation_runner, variants), rounds=1, iterations=1)
+    emit("ablation_contention_policy", format_table(
+        ["bench"] + labels, rows,
+        title="Ablation: pipelined-search contention resolution "
+              "(1-ported segmented LSQ)"))

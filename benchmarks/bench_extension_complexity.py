@@ -1,0 +1,65 @@
+"""Extension: the performance / design-complexity Pareto.
+
+The paper's title claim is about *complexity*: its techniques let a
+simpler LSQ (fewer ports, smaller searched CAM) match or beat a more
+complex one.  This bench tabulates each evaluated design's speedup
+alongside first-order CAM area, cycle-time pressure, and total dynamic
+search energy (see :mod:`repro.core.complexity`).
+"""
+
+from dataclasses import replace
+
+from repro.config import (
+    base_machine,
+    conventional_lsq,
+    full_techniques_lsq,
+    segmented_lsq,
+    techniques_lsq,
+)
+from repro.core.complexity import pareto_row, search_energy
+from repro.stats.report import format_table, geometric_mean
+
+from conftest import emit
+
+DESIGNS = {
+    "2p-conventional": conventional_lsq(ports=2),
+    "4p-conventional": conventional_lsq(ports=4),
+    "2p-128-flat": conventional_lsq(ports=2, lq_entries=128,
+                                    sq_entries=128),
+    "1p-techniques": techniques_lsq(ports=1),
+    "2p-segmented": segmented_lsq(ports=2),
+    "1p-all-techniques": full_techniques_lsq(ports=1),
+}
+
+
+def _pareto(runner):
+    base_lsq = DESIGNS["2p-conventional"]
+    base = runner.run_lsq_suite(base_lsq)
+    rows = []
+    for label, lsq in DESIGNS.items():
+        results = runner.run_lsq_suite(lsq)
+        ipc_ratio = geometric_mean(
+            [results[b].ipc / base[b].ipc for b in results])
+        energy_ratio = geometric_mean(
+            [search_energy(results[b].stats, lsq)
+             / max(search_energy(base[b].stats, base_lsq), 1e-9)
+             for b in results])
+        sample = next(iter(results))
+        row = pareto_row(label, results[sample].stats, lsq,
+                         base[sample].stats, base_lsq)
+        row["speedup"] = f"{(ipc_ratio - 1) * 100:+.1f}%"
+        row["search-energy"] = f"{energy_ratio:.2f}x"
+        rows.append(row)
+    return rows
+
+
+def test_complexity_pareto(benchmark, runner):
+    rows = benchmark.pedantic(lambda: _pareto(runner), rounds=1,
+                              iterations=1)
+    headers = list(rows[0])
+    emit("extension_complexity_pareto", format_table(
+        headers, [[row[h] for h in headers] for row in rows],
+        title="Extension: performance vs design complexity "
+              "(suite geomeans; area/cycle-time/energy relative to the "
+              "2-ported conventional base)"))
+    assert rows

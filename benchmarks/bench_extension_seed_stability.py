@@ -1,0 +1,44 @@
+"""Extension: seed-stability of the headline result.
+
+Synthetic traces are the only stochastic input to a run.  This bench
+re-rolls the generator seed and reports the headline Figure 10/12
+speedup (1-ported all-techniques vs 2-ported conventional) as
+mean ± half-range over the seeds, confirming the conclusions are not an
+artifact of one particular trace instance.
+"""
+
+from dataclasses import replace
+
+from repro.config import base_machine, conventional_lsq, full_techniques_lsq
+from repro.harness.experiment import confidence
+from repro.stats.report import format_table
+
+from conftest import emit
+
+BENCHES = ("gzip", "vortex", "mgrid", "equake")
+SEEDS = (0, 1, 2)
+
+
+def _sweep(runner):
+    rows = []
+    base_machine_cfg = replace(base_machine(), lsq=conventional_lsq(ports=2))
+    tech_machine = replace(base_machine(), lsq=full_techniques_lsq(ports=1))
+    for bench in BENCHES:
+        base_runs = runner.run_seeds(bench, base_machine_cfg, SEEDS)
+        tech_runs = runner.run_seeds(bench, tech_machine, SEEDS)
+        speedups = [t.ipc / b.ipc - 1
+                    for t, b in zip(tech_runs, base_runs)]
+        mean, spread = confidence(speedups)
+        rows.append([bench, f"{mean * 100:+.1f}%", f"+/-{spread * 100:.1f}pt",
+                     " ".join(f"{s * 100:+.0f}" for s in speedups)])
+    return rows
+
+
+def test_seed_stability(benchmark, ablation_runner):
+    rows = benchmark.pedantic(lambda: _sweep(ablation_runner), rounds=1,
+                              iterations=1)
+    emit("extension_seed_stability", format_table(
+        ["bench", "mean speedup", "spread", "per-seed"], rows,
+        title=f"Extension: 1p all-techniques vs 2p conventional across "
+              f"generator seeds {SEEDS}"))
+    assert rows

@@ -1,0 +1,48 @@
+"""Extension: unified vs split load/store queue.
+
+The paper notes in passing that "in a modern processor, the load/store
+queue is implemented as two separate queues" and draws Figure 5's
+combined queue only "for brevity".  This bench makes the implicit
+trade-off explicit: a unified CAM shares capacity between loads and
+stores (good for lopsided mixes like mgrid's 51/2 or vortex's 18/23)
+but every search competes for one port pool (bad under bandwidth
+pressure) — which is why the split design is the standard.
+"""
+
+from dataclasses import replace
+
+from repro.config import LsqConfig, base_machine, conventional_lsq
+from repro.stats.report import format_table
+
+from conftest import emit
+
+CONFIGS = {
+    "split-2p": conventional_lsq(ports=2),
+    "unified-2p": LsqConfig(unified_queue=True, search_ports=2),
+    "split-1p": conventional_lsq(ports=1),
+    "unified-1p": LsqConfig(unified_queue=True, search_ports=1),
+    "unified-4p": LsqConfig(unified_queue=True, search_ports=4),
+}
+
+
+def _sweep(runner):
+    base = runner.run_lsq_suite(CONFIGS["split-2p"])
+    rows = []
+    for bench in runner.benchmarks:
+        row = [bench]
+        for lsq in CONFIGS.values():
+            ipc = runner.run(bench, replace(base_machine(), lsq=lsq)).ipc
+            row.append(f"{(ipc / base[bench].ipc - 1) * 100:+.1f}%")
+        rows.append(row)
+    return rows
+
+
+def test_unified_vs_split(benchmark, ablation_runner):
+    rows = benchmark.pedantic(lambda: _sweep(ablation_runner), rounds=1,
+                              iterations=1)
+    emit("extension_unified_queue", format_table(
+        ["bench"] + list(CONFIGS), rows,
+        title="Extension: unified (combined) vs split LQ/SQ — shared "
+              "capacity vs shared search bandwidth (both 32+32 entries "
+              "total)"))
+    assert rows

@@ -1,0 +1,17 @@
+"""Table 2 — applications and their base IPCs
+
+Regenerates the paper's Table 2 (base IPC per benchmark) via :func:`repro.harness.figures.table2_base_ipc`.
+Run with ``-s`` to see the table; it is also written to
+``benchmarks/results/table2.txt``.
+"""
+
+from repro.harness import figures
+
+from conftest import emit
+
+
+def test_table2(benchmark, runner):
+    result = benchmark.pedantic(
+        lambda: figures.table2_base_ipc(runner), rounds=1, iterations=1)
+    emit("table2", result.format())
+    assert result.rows

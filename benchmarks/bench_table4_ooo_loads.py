@@ -1,0 +1,17 @@
+"""Table 4 — average number of out-of-order-issued loads
+
+Regenerates Table 4 (per-cycle average of loads issued out of program order) via :func:`repro.harness.figures.table4_ooo_loads`.
+Run with ``-s`` to see the table; it is also written to
+``benchmarks/results/table4.txt``.
+"""
+
+from repro.harness import figures
+
+from conftest import emit
+
+
+def test_table4(benchmark, runner):
+    result = benchmark.pedantic(
+        lambda: figures.table4_ooo_loads(runner), rounds=1, iterations=1)
+    emit("table4", result.format())
+    assert result.rows

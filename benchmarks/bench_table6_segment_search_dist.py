@@ -1,0 +1,17 @@
+"""Table 6 — distribution of segments searched per load
+
+Regenerates Table 6 (how many segments a forwarding search touches) via :func:`repro.harness.figures.table6_segment_distribution`.
+Run with ``-s`` to see the table; it is also written to
+``benchmarks/results/table6.txt``.
+"""
+
+from repro.harness import figures
+
+from conftest import emit
+
+
+def test_table6(benchmark, runner):
+    result = benchmark.pedantic(
+        lambda: figures.table6_segment_distribution(runner), rounds=1, iterations=1)
+    emit("table6", result.format())
+    assert result.rows

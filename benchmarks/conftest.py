@@ -1,0 +1,53 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Every bench regenerates one of the paper's tables or figures.  A single
+session-scoped :class:`ExperimentRunner` is shared so configurations
+that appear in several figures (e.g. the 2-ported conventional base) are
+simulated once.
+
+Results are printed (run with ``-s`` to see them live) and written to
+``benchmarks/results/<name>.txt``.
+
+Environment knobs:
+
+``REPRO_BENCH_INSTRUCTIONS``
+    dynamic instructions per benchmark trace (default 6000).
+``REPRO_BENCH_SUBSET``
+    comma-separated benchmark names to restrict the suite (default: all
+    eighteen applications).
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.harness.experiment import ExperimentRunner
+from repro.workload import ALL_BENCHMARKS
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _selected_benchmarks():
+    subset = os.environ.get("REPRO_BENCH_SUBSET", "")
+    if subset:
+        return tuple(name.strip() for name in subset.split(",") if name.strip())
+    return ALL_BENCHMARKS
+
+
+@pytest.fixture(scope="session")
+def runner():
+    return ExperimentRunner(benchmarks=_selected_benchmarks())
+
+
+@pytest.fixture(scope="session")
+def ablation_runner():
+    """Smaller suite for the ablation benches."""
+    return ExperimentRunner(benchmarks=("gzip", "vortex", "mgrid", "equake"))
+
+
+def emit(result_name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{result_name}.txt").write_text(text + "\n")

@@ -1,0 +1,79 @@
+"""The title claim, end to end: performance per unit of design complexity.
+
+Runs one benchmark across the paper's design points and combines the
+measured IPC with the first-order CAM complexity model
+(:mod:`repro.core.complexity`) and the pressure-breakdown analysis
+(:mod:`repro.stats.analysis`) — the workflow an architect would follow
+to justify the simpler design.
+
+Usage::
+
+    python examples/complexity_report.py [benchmark] [instructions]
+"""
+
+import sys
+from dataclasses import replace
+
+from repro import (
+    base_machine,
+    conventional_lsq,
+    full_techniques_lsq,
+    generate_trace,
+    segmented_lsq,
+    simulate,
+    techniques_lsq,
+)
+from repro.core import search_energy, static_complexity
+from repro.stats import search_pressure
+from repro.stats.report import format_table
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "equake"
+    n = int(sys.argv[2]) if len(sys.argv) > 2 else 8000
+    trace = generate_trace(benchmark, n_instructions=n)
+
+    designs = {
+        "2p conventional": conventional_lsq(ports=2),
+        "4p conventional": conventional_lsq(ports=4),
+        "1p + predictor + buffer": techniques_lsq(ports=1),
+        "2p segmented 4x28": segmented_lsq(ports=2),
+        "1p all techniques": full_techniques_lsq(ports=1),
+    }
+
+    base_lsq = designs["2p conventional"]
+    base = simulate(trace, replace(base_machine(), lsq=base_lsq))
+    base_energy = search_energy(base.stats, base_lsq)
+
+    rows = []
+    worst_pressure = {}
+    for label, lsq in designs.items():
+        result = simulate(trace, replace(base_machine(), lsq=lsq))
+        complexity = static_complexity(lsq, baseline=base_lsq)
+        energy = search_energy(result.stats, lsq) / max(base_energy, 1e-9)
+        rows.append([
+            label,
+            f"{(result.ipc / base.ipc - 1) * 100:+.1f}%",
+            f"{complexity.area:.2f}x",
+            f"{complexity.cycle_time:.2f}x",
+            f"{energy:.2f}x",
+            f"{complexity.entries_per_search}e/{complexity.ports}p",
+        ])
+        worst_pressure[label] = search_pressure(result.stats).dominant()
+
+    print(format_table(
+        ["design", "speedup", "CAM area", "cycle time", "search energy",
+         "per-search"],
+        rows,
+        title=f"Performance vs design complexity on '{benchmark}' "
+              f"({n} instructions; all values relative to 2p conventional)"))
+    print("\nDominant pressure source per design:")
+    for label, source in worst_pressure.items():
+        print(f"  {label:24s} {source}")
+    print("\nThe paper's claim in one table: the one-ported designs sit at"
+          "\na fraction of the base CAM's area, cycle-time pressure and"
+          "\nsearch energy — while matching or beating its performance.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Design-space exploration: sweep LSQ parameters on one workload.
+
+The paper fixes a handful of design points; this example shows how a
+micro-architect would use the library to explore the neighbourhood —
+ports x load-buffer size x segmentation — and find the cheapest design
+within a target slowdown of the best.
+
+Usage::
+
+    python examples/design_explorer.py [benchmark] [instructions]
+"""
+
+import sys
+from dataclasses import replace
+
+from repro import (
+    LoadQueueSearchMode,
+    LsqConfig,
+    PredictorMode,
+    base_machine,
+    generate_trace,
+    simulate,
+)
+from repro.stats.report import format_table
+
+
+def design_points():
+    """The sweep: every combination a designer might shortlist."""
+    for ports in (1, 2):
+        for buffer_entries in (0, 2, 4):
+            for segments in (1, 4):
+                lq_search = (LoadQueueSearchMode.LOAD_BUFFER
+                             if buffer_entries else
+                             LoadQueueSearchMode.SEARCH_LQ)
+                yield LsqConfig(
+                    search_ports=ports,
+                    predictor=PredictorMode.PAIR,
+                    lq_search=lq_search,
+                    load_buffer_entries=buffer_entries,
+                    segments=segments,
+                    segment_entries=28 if segments > 1 else 32,
+                )
+
+
+def describe(lsq: LsqConfig) -> str:
+    parts = [f"{lsq.search_ports}p"]
+    parts.append(f"buf{lsq.load_buffer_entries}"
+                 if lsq.lq_search is LoadQueueSearchMode.LOAD_BUFFER
+                 else "lq-search")
+    parts.append(f"{lsq.segments}x{lsq.segment_entries}"
+                 if lsq.segmented else "flat")
+    return "/".join(parts)
+
+
+def cam_cost(lsq: LsqConfig) -> int:
+    """A toy complexity metric: ports x largest-CAM-searched-per-cycle."""
+    segment = lsq.segment_entries if lsq.segmented else lsq.lq_entries
+    return lsq.search_ports * segment
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "equake"
+    n = int(sys.argv[2]) if len(sys.argv) > 2 else 6000
+    trace = generate_trace(benchmark, n_instructions=n)
+
+    baseline = simulate(trace, base_machine()).ipc
+    rows = []
+    best_ipc = 0.0
+    for lsq in design_points():
+        result = simulate(trace, replace(base_machine(), lsq=lsq))
+        best_ipc = max(best_ipc, result.ipc)
+        rows.append((describe(lsq), result.ipc, cam_cost(lsq)))
+
+    rows.sort(key=lambda r: -r[1])
+    table = [[name, f"{ipc:.2f}", f"{(ipc / baseline - 1) * 100:+.1f}%",
+              cost] for name, ipc, cost in rows]
+    print(format_table(
+        ["design", "IPC", "vs 2p-conv", "CAM cost"], table,
+        title=f"LSQ design sweep on '{benchmark}' "
+              f"(baseline 2p conventional = {baseline:.2f} IPC)"))
+
+    cheap = min((r for r in rows if r[1] >= 0.98 * best_ipc),
+                key=lambda r: r[2])
+    print(f"\nCheapest design within 2% of the best: {cheap[0]} "
+          f"(IPC {cheap[1]:.2f}, CAM cost {cheap[2]})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Regenerate the paper's tables and figures from the command line.
+
+Usage::
+
+    python examples/reproduce_paper.py              # list experiments
+    python examples/reproduce_paper.py fig10        # one experiment
+    python examples/reproduce_paper.py all          # everything
+
+Environment:
+
+``REPRO_BENCH_INSTRUCTIONS`` — trace length per benchmark (default 6000).
+``REPRO_BENCH_SUBSET``       — comma-separated benchmark subset.
+"""
+
+import os
+import sys
+import time
+
+from repro.harness import ExperimentRunner, figures
+from repro.workload import ALL_BENCHMARKS
+
+
+def main() -> None:
+    if len(sys.argv) < 2:
+        print("Available experiments:")
+        for key, fn in figures.ALL_EXPERIMENTS.items():
+            summary = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"  {key:8s} {summary}")
+        print("\nUsage: python examples/reproduce_paper.py "
+              "<experiment|all> [more...]")
+        return
+
+    names = sys.argv[1:]
+    if names == ["all"]:
+        names = list(figures.ALL_EXPERIMENTS)
+
+    subset = os.environ.get("REPRO_BENCH_SUBSET", "")
+    benchmarks = (tuple(s.strip() for s in subset.split(",") if s.strip())
+                  or ALL_BENCHMARKS)
+    runner = ExperimentRunner(benchmarks=benchmarks)
+
+    for name in names:
+        if name not in figures.ALL_EXPERIMENTS:
+            print(f"unknown experiment {name!r}; choose from "
+                  f"{sorted(figures.ALL_EXPERIMENTS)}")
+            continue
+        started = time.time()
+        result = figures.ALL_EXPERIMENTS[name](runner)
+        print(f"\n{result.format()}")
+        print(f"[{name}: {time.time() - started:.1f}s]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""Calibration helper: run all benchmarks with optional profile overrides.
+
+Usage: python scripts/calibrate.py [n_instructions]
+
+Edit OVERRIDES while tuning; once values look right, bake them into
+src/repro/workload/spec2k.py and empty the dict.
+"""
+import sys
+import time
+from dataclasses import replace
+
+from repro import base_machine, generate_trace, simulate, ALL_BENCHMARKS, profile_for
+
+OVERRIDES = {}
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 8000
+    t0 = time.time()
+    print(f"{'bench':9s} {'IPC':>5s} {'tgt':>4s} | {'ooo':>5s} {'tgt':>4s} |"
+          f" {'fwd':>6s} slsq llsq  ssw")
+    for name in ALL_BENCHMARKS:
+        profile = profile_for(name)
+        if name in OVERRIDES:
+            profile = replace(profile, **OVERRIDES[name])
+        trace = generate_trace(profile, n_instructions=n)
+        stats = simulate(trace, base_machine()).stats
+        fwd = stats.sq_search_matches / max(stats.sq_searches, 1)
+        print(f"{name:9s} {stats.ipc:5.2f} {profile.base_ipc:4.1f} |"
+              f" {stats.avg_ooo_loads:5.2f} {profile.ooo_loads:4.1f} |"
+              f" {fwd:6.1%} {stats.store_load_squashes:4d}"
+              f" {stats.load_load_squashes:4d} {stats.store_set_waits:5d}")
+    print(f"{time.time() - t0:.1f}s")
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Reproduction of *Reducing Design Complexity of the Load/Store Queue*
+(Park, Ooi & Vijaykumar, MICRO-36, 2003).
+
+Public API
+----------
+
+Configuration
+    :func:`repro.config.base_machine`, :func:`repro.config.scaled_machine`
+    and the LSQ presets (:func:`repro.config.conventional_lsq`,
+    :func:`repro.config.techniques_lsq`, :func:`repro.config.segmented_lsq`,
+    :func:`repro.config.full_techniques_lsq`).
+Workloads
+    :func:`repro.workload.generate_trace` and the per-benchmark profiles
+    in :data:`repro.workload.SPEC2K_PROFILES`.
+Simulation
+    :func:`repro.pipeline.simulate` runs a trace on a machine and
+    returns a :class:`repro.pipeline.SimulationResult` whose
+    :class:`repro.stats.SimStats` holds every metric the paper reports.
+Experiments
+    :mod:`repro.harness` regenerates each of the paper's figures and
+    tables.
+
+Quick start::
+
+    from repro import base_machine, generate_trace, simulate, techniques_lsq
+    from dataclasses import replace
+
+    trace = generate_trace("mgrid", n_instructions=20_000)
+    base = simulate(trace, base_machine())
+    ours = simulate(trace, replace(base_machine(), lsq=techniques_lsq(ports=1)))
+    print(base.ipc, ours.ipc)
+"""
+
+from repro.config import (
+    AllocationPolicy,
+    ContentionPolicy,
+    LoadQueueSearchMode,
+    LsqConfig,
+    MachineConfig,
+    PredictorMode,
+    base_machine,
+    conventional_lsq,
+    full_techniques_lsq,
+    scaled_machine,
+    segmented_lsq,
+    techniques_lsq,
+)
+from repro.pipeline import Processor, SimulationResult, simulate
+from repro.stats import SimStats
+from repro.workload import (
+    ALL_BENCHMARKS,
+    FP_BENCHMARKS,
+    INT_BENCHMARKS,
+    SPEC2K_PROFILES,
+    Trace,
+    generate_trace,
+    profile_for,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AllocationPolicy",
+    "ContentionPolicy",
+    "LoadQueueSearchMode",
+    "LsqConfig",
+    "MachineConfig",
+    "PredictorMode",
+    "base_machine",
+    "scaled_machine",
+    "conventional_lsq",
+    "techniques_lsq",
+    "segmented_lsq",
+    "full_techniques_lsq",
+    "Processor",
+    "SimulationResult",
+    "simulate",
+    "SimStats",
+    "Trace",
+    "generate_trace",
+    "profile_for",
+    "SPEC2K_PROFILES",
+    "ALL_BENCHMARKS",
+    "INT_BENCHMARKS",
+    "FP_BENCHMARKS",
+    "__version__",
+]

@@ -1,0 +1,174 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+
+``run``       simulate one benchmark on a chosen LSQ design and print a
+              full report (IPC, search bandwidth, pressure breakdown).
+``figure``    regenerate one of the paper's figures/tables (optionally
+              as an ASCII bar chart).
+``sweep``     compare several LSQ presets on one benchmark.
+``trace``     generate a synthetic trace, report its characteristics,
+              optionally save it as ``.lsqtrace``.
+``pipetrace`` draw the per-instruction pipeline diagram for the first
+              instructions of a run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+from typing import Dict
+
+from repro.config import (
+    MachineConfig,
+    base_machine,
+    conventional_lsq,
+    full_techniques_lsq,
+    scaled_machine,
+    segmented_lsq,
+    techniques_lsq,
+)
+from repro.pipeline.processor import Processor, simulate
+from repro.stats.analysis import SweepSummary, search_pressure
+from repro.workload import ALL_BENCHMARKS, generate_trace
+from repro.workload.tools import mix_report
+from repro.workload.trace import Trace
+
+PRESETS: Dict[str, callable] = {
+    "conventional": conventional_lsq,
+    "techniques": techniques_lsq,
+    "segmented": lambda ports: segmented_lsq(ports=ports),
+    "full": full_techniques_lsq,
+}
+
+
+def _machine(args) -> MachineConfig:
+    core = scaled_machine() if getattr(args, "scaled", False) \
+        else base_machine()
+    lsq = PRESETS[args.lsq](ports=args.ports)
+    return replace(core, lsq=lsq)
+
+
+def _load_trace(args) -> Trace:
+    if args.benchmark.endswith(".lsqtrace"):
+        return Trace.load(args.benchmark)
+    return generate_trace(args.benchmark, n_instructions=args.instructions)
+
+
+def cmd_run(args) -> None:
+    trace = _load_trace(args)
+    result = simulate(trace, _machine(args))
+    stats = result.stats
+    print(f"{trace.name}: {stats.committed} instructions in "
+          f"{stats.cycles} cycles -> IPC {stats.ipc:.2f}")
+    print(f"  searches: SQ {stats.sq_searches}, LQ {stats.lq_searches}, "
+          f"load buffer {stats.load_buffer_searches}")
+    print(f"  forwarding: {stats.forwarded_loads} loads; "
+          f"violations: {stats.violation_squashes}; "
+          f"branch mispredicts: {stats.branch_mispredicts}")
+    print(f"  occupancy: LQ {stats.avg_lq_occupancy:.1f} / "
+          f"SQ {stats.avg_sq_occupancy:.1f}; "
+          f"OOO loads {stats.avg_ooo_loads:.2f}")
+    print("\n" + search_pressure(stats).format())
+
+
+def cmd_figure(args) -> None:
+    from repro.harness import ExperimentRunner, figures
+    from repro.harness.plots import bar_chart
+    runner = ExperimentRunner(n_instructions=args.instructions)
+    names = (list(figures.ALL_EXPERIMENTS) if args.name == "all"
+             else [args.name])
+    for name in names:
+        if name not in figures.ALL_EXPERIMENTS:
+            sys.exit(f"unknown figure {name!r}; choose from "
+                     f"{sorted(figures.ALL_EXPERIMENTS)} or 'all'")
+        result = figures.ALL_EXPERIMENTS[name](runner)
+        print(bar_chart(result) if args.chart else result.format())
+        print()
+
+
+def cmd_sweep(args) -> None:
+    trace = _load_trace(args)
+    ipc: Dict[str, Dict[str, float]] = {}
+    for label, preset in PRESETS.items():
+        for ports in (1, 2):
+            machine = replace(base_machine(), lsq=preset(ports=ports))
+            ipc[f"{label}-{ports}p"] = {
+                trace.name: simulate(trace, machine).ipc}
+    summary = SweepSummary(ipc=ipc, baseline="conventional-2p")
+    print(summary.format())
+    print(f"best: {summary.best_config()}")
+
+
+def cmd_trace(args) -> None:
+    trace = _load_trace(args)
+    print(mix_report(trace))
+    if args.output:
+        trace.save(args.output)
+        print(f"saved to {args.output}")
+
+
+def cmd_pipetrace(args) -> None:
+    from repro.pipeline.debug import PipelineTracer
+    trace = _load_trace(args)
+    processor = Processor(_machine(args))
+    processor.tracer = PipelineTracer(limit=args.last + 1)
+    processor.run(trace)
+    print(processor.tracer.render(args.first, args.last))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p, with_lsq=True):
+        p.add_argument("benchmark",
+                       help=f"benchmark name ({', '.join(ALL_BENCHMARKS)}) "
+                            "or a .lsqtrace file")
+        p.add_argument("-n", "--instructions", type=int, default=6000)
+        if with_lsq:
+            p.add_argument("--lsq", choices=sorted(PRESETS),
+                           default="conventional")
+            p.add_argument("--ports", type=int, default=2)
+            p.add_argument("--scaled", action="store_true",
+                           help="use the 12-wide scaled machine (Sec. 4.3)")
+
+    run = sub.add_parser("run", help="simulate one benchmark")
+    add_common(run)
+    run.set_defaults(func=cmd_run)
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("name", help="fig6..fig12, table2..table6, or 'all'")
+    figure.add_argument("-n", "--instructions", type=int, default=6000)
+    figure.add_argument("--chart", action="store_true",
+                        help="render as an ASCII bar chart")
+    figure.set_defaults(func=cmd_figure)
+
+    sweep = sub.add_parser("sweep", help="compare LSQ presets")
+    add_common(sweep, with_lsq=False)
+    sweep.set_defaults(func=cmd_sweep)
+
+    trace = sub.add_parser("trace", help="generate/inspect a trace")
+    add_common(trace, with_lsq=False)
+    trace.add_argument("-o", "--output", help="save as .lsqtrace")
+    trace.set_defaults(func=cmd_trace)
+
+    pipe = sub.add_parser("pipetrace", help="per-instruction pipeline view")
+    add_common(pipe)
+    pipe.add_argument("--first", type=int, default=0)
+    pipe.add_argument("--last", type=int, default=40)
+    pipe.set_defaults(func=cmd_pipetrace)
+    return parser
+
+
+def main(argv=None) -> None:
+    args = build_parser().parse_args(argv)
+    args.func(args)
+
+
+if __name__ == "__main__":
+    main()

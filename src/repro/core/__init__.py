@@ -1,0 +1,44 @@
+"""The paper's contribution: scalable load/store queue designs.
+
+* :mod:`repro.core.store_sets` — the Chrysos/Emer store-set predictor
+  extended into the paper's store-load *pair* predictor (Section 2.1),
+  plus the alias-free "aggressive" idealisation.
+* :mod:`repro.core.load_buffer` — the load buffer with its Non-Issued
+  Load Pointer and Load Issue Vector (Section 2.2).
+* :mod:`repro.core.queues` — the (optionally segmented) CAM queues and
+  per-segment search-port calendars (Section 3).
+* :mod:`repro.core.lsq` — the orchestrating :class:`LoadStoreQueue` the
+  processor talks to.
+"""
+
+from repro.core.lsq import (
+    CommitResult,
+    LoadResult,
+    LoadStoreQueue,
+    StoreResult,
+    Violation,
+)
+from repro.core.complexity import (
+    ComplexityReport,
+    search_energy,
+    static_complexity,
+)
+from repro.core.load_buffer import LoadBuffer
+from repro.core.queues import PortCalendar, SegmentedQueue
+from repro.core.store_sets import PairPredictor, make_predictor
+
+__all__ = [
+    "LoadStoreQueue",
+    "LoadResult",
+    "StoreResult",
+    "CommitResult",
+    "Violation",
+    "LoadBuffer",
+    "SegmentedQueue",
+    "PortCalendar",
+    "PairPredictor",
+    "make_predictor",
+    "ComplexityReport",
+    "static_complexity",
+    "search_energy",
+]

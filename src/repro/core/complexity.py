@@ -1,0 +1,153 @@
+"""Design-complexity model for load/store queue configurations.
+
+The paper's motivation is *complexity*, not just cycles: a multi-ported
+CAM's area grows with ports squared, its search energy with the number
+of entries activated per search, and its cycle time with both.  This
+module puts first-order numbers on those costs so the paper's designs
+can be compared on a performance/complexity Pareto rather than IPC
+alone.
+
+The model is the standard CAM scaling used in architecture evaluations
+(e.g. CACTI-class analytical models, reduced to their leading terms):
+
+* **cell area** — each entry holds ``TAG_BITS`` of match storage plus
+  payload; a match cell needs one compare port per search port, so cell
+  area scales with ``1 + PORT_AREA_FACTOR * (ports - 1)``.
+* **search energy** — one search activates every cell of the searched
+  structure: proportional to entries-per-activated-structure, paid once
+  per segment actually visited (the per-segment numbers are what the
+  pipelined segmented search saves).
+* **cycle-time pressure** — CAM delay grows ~logarithmically with
+  entries through the match-line and ~linearly with ports through
+  loading; normalised so the paper's base design (32 entries, 2 ports)
+  is 1.0.
+
+The absolute units are arbitrary; all results are reported relative to
+the conventional two-ported base, which is how the paper frames its
+complexity claims ("a one-ported load/store queue using our techniques
+outperforms a two-ported conventional load/store queue").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.config import LoadQueueSearchMode, LsqConfig, PredictorMode, \
+    StoreSetConfig
+from repro.stats.counters import SimStats
+
+#: Address-tag bits compared per CAM entry.
+TAG_BITS = 40
+#: Payload (age, status, data pointer) bits stored per entry.
+PAYLOAD_BITS = 24
+#: Incremental area per extra search port, relative to a 1-port cell.
+PORT_AREA_FACTOR = 0.7
+#: Relative energy of one load-buffer entry search (tiny CAM).
+LOAD_BUFFER_ENTRY_COST = 1.0
+#: Relative energy of one predictor table access.
+SSIT_ACCESS_COST = 0.02
+
+
+@dataclass(frozen=True)
+class ComplexityReport:
+    """Area / energy / delay summary for one LSQ configuration."""
+
+    #: Relative CAM area of both queues (1.0 = 32+32 entries, 2 ports).
+    area: float
+    #: Relative worst-case search delay (1.0 = 32-entry 2-port CAM).
+    cycle_time: float
+    #: Entries activated by one (single-segment) search.
+    entries_per_search: int
+    #: Search ports per activated structure.
+    ports: int
+
+    def format(self) -> str:
+        return (f"area {self.area:.2f}x, cycle-time {self.cycle_time:.2f}x, "
+                f"{self.entries_per_search} entries/"
+                f"{self.ports} ports per search")
+
+
+def _cell_area(ports: int) -> float:
+    return (TAG_BITS + PAYLOAD_BITS) * (1 + PORT_AREA_FACTOR * (ports - 1))
+
+
+def _cam_delay(entries: int, ports: int) -> float:
+    """Leading-term CAM search delay (match line + port loading)."""
+    return math.log2(max(entries, 2)) * (1 + 0.15 * (ports - 1))
+
+
+def static_complexity(lsq: LsqConfig,
+                      baseline: Optional[LsqConfig] = None
+                      ) -> ComplexityReport:
+    """Area and delay of an LSQ design relative to a baseline.
+
+    The searched-structure size is what sets delay: a segmented queue's
+    cycle time is governed by one *segment*, which is the paper's
+    argument that segmentation keeps the CAM small while capacity grows.
+    """
+    if baseline is None:
+        baseline = LsqConfig()  # 32+32 entries, 2 ports
+
+    def totals(config: LsqConfig):
+        entries = config.effective_lq_entries + config.effective_sq_entries
+        searched = (config.segment_entries if config.segmented
+                    else max(config.lq_entries, config.sq_entries))
+        area = entries * _cell_area(config.search_ports)
+        if config.lq_search is LoadQueueSearchMode.LOAD_BUFFER:
+            area += config.load_buffer_entries * _cell_area(1)
+        delay = _cam_delay(searched, config.search_ports)
+        return area, delay, searched
+
+    area, delay, searched = totals(lsq)
+    base_area, base_delay, __ = totals(baseline)
+    return ComplexityReport(area=area / base_area,
+                            cycle_time=delay / base_delay,
+                            entries_per_search=searched,
+                            ports=lsq.search_ports)
+
+
+def search_energy(stats: SimStats, lsq: LsqConfig,
+                  store_sets: Optional[StoreSetConfig] = None) -> float:
+    """Total dynamic search energy of one simulated run (relative units).
+
+    Every CAM search pays for the entries it activates; segmented
+    searches pay per visited segment (that is the bandwidth/energy win
+    of confining searches to one segment, Table 6).  Predictor-based
+    designs add their (much cheaper) table lookups.
+    """
+    if lsq.segmented:
+        sq_entries = lq_entries = lsq.segment_entries
+        sq_activations = stats.sq_segment_visits
+        lq_activations = stats.lq_segment_visits
+    else:
+        sq_entries = lsq.sq_entries
+        lq_entries = lsq.lq_entries
+        sq_activations = stats.sq_searches
+        lq_activations = stats.lq_searches
+    energy = (sq_activations * sq_entries + lq_activations * lq_entries)
+    energy += stats.load_buffer_searches * lsq.load_buffer_entries \
+        * LOAD_BUFFER_ENTRY_COST
+    if lsq.predictor in (PredictorMode.PAIR, PredictorMode.AGGRESSIVE):
+        table_entries = (store_sets or StoreSetConfig()).lfst_entries
+        energy += (stats.loads_predicted_dependent
+                   * SSIT_ACCESS_COST * table_entries)
+    return energy
+
+
+def pareto_row(label: str, stats: SimStats, lsq: LsqConfig,
+               base_stats: SimStats, base_lsq: LsqConfig) -> Dict[str, str]:
+    """One row of a performance-vs-complexity Pareto table."""
+    report = static_complexity(lsq, baseline=base_lsq)
+    energy = search_energy(stats, lsq)
+    base_energy = search_energy(base_stats, base_lsq)
+    return {
+        "design": label,
+        "speedup": f"{(stats.ipc / base_stats.ipc - 1) * 100:+.1f}%",
+        "area": f"{report.area:.2f}x",
+        "cycle-time": f"{report.cycle_time:.2f}x",
+        "search-energy": f"{energy / max(base_energy, 1e-9):.2f}x",
+        "capacity": str(lsq.effective_lq_entries
+                        + lsq.effective_sq_entries),
+    }

@@ -1,0 +1,145 @@
+"""The load buffer (Section 2.2): out-of-order-issued loads only.
+
+The load queue proper is relieved of load-load ordering searches: a load
+that issues while an older load is still un-issued (an
+*out-of-order-issued* load) parks its address in this small buffer, and
+every load searches the buffer — not the load queue — for younger
+same-address loads when it executes.
+
+The paper tracks "oldest non-issued load" with the Non-Issued Load
+Pointer (NILP) over a Load Issue Vector (LIV).  Here the NILP is
+realised as a lazily-pruned program-order queue of not-yet-issued loads:
+the front of the queue *is* the NILP target, and popping issued loads
+off the front is the pointer walking the LIV.  When the pointer passes
+an out-of-order-issued load, that load's buffer entry is released (and,
+per the paper, the load performs one final buffer search).
+
+A load that is out of order while the buffer is full stalls until an
+entry frees or the NILP reaches it — mirroring the store-set-style stall
+the paper describes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.pipeline.dyninst import DynInst
+
+
+class LoadBuffer:
+    """Fixed-capacity buffer of out-of-order-issued loads."""
+
+    def __init__(self, entries: int) -> None:
+        if entries < 0:
+            raise ValueError("load buffer size must be >= 0")
+        self.capacity = entries
+        self._slots: List[Optional[DynInst]] = [None] * entries
+
+    def __len__(self) -> int:
+        return sum(1 for slot in self._slots if slot is not None)
+
+    @property
+    def full(self) -> bool:
+        return all(slot is not None for slot in self._slots)
+
+    def insert(self, load: DynInst) -> None:
+        for index, slot in enumerate(self._slots):
+            if slot is None:
+                self._slots[index] = load
+                load.load_buffer_slot = index
+                return
+        raise RuntimeError("insert into a full load buffer")
+
+    def release(self, load: DynInst) -> None:
+        index = load.load_buffer_slot
+        if index >= 0 and self._slots[index] is load:
+            self._slots[index] = None
+        load.load_buffer_slot = -1
+
+    def search(self, load: DynInst) -> Optional[DynInst]:
+        """Oldest younger same-address load in the buffer, if any.
+
+        A hit means ``load`` (the older access) is executing after the
+        returned load already obtained a value out of order — a
+        load-load ordering violation; the younger load must be squashed.
+        """
+        best: Optional[DynInst] = None
+        for slot in self._slots:
+            if slot is None or slot is load:
+                continue
+            if slot.seq > load.seq and slot.overlaps(load):
+                if best is None or slot.seq < best.seq:
+                    best = slot
+        return best
+
+    def squash_from(self, seq: int) -> None:
+        for index, slot in enumerate(self._slots):
+            if slot is not None and slot.seq >= seq:
+                slot.load_buffer_slot = -1
+                self._slots[index] = None
+
+
+class NilpTracker:
+    """Program-order queue of loads realising the NILP / LIV walk.
+
+    Also maintains the running count of out-of-order-issued loads in
+    flight, which Table 4 reports (sampled per cycle by the LSQ) — this
+    count is exactly the occupancy an unbounded load buffer would have.
+    """
+
+    def __init__(self) -> None:
+        self._pending: Deque[DynInst] = deque()
+        self.ooo_in_flight = 0
+
+    def on_allocate(self, load: DynInst) -> None:
+        self._pending.append(load)
+
+    def advance(self) -> List[DynInst]:
+        """Walk the pointer over issued (or squashed) loads.
+
+        Returns the out-of-order-issued loads the pointer passed; their
+        load-buffer entries can be released, each performing one final
+        buffer search (Section 2.2.1).
+        """
+        passed: List[DynInst] = []
+        while self._pending and (self._pending[0].squashed
+                                 or self._pending[0].mem_executed):
+            load = self._pending.popleft()
+            if load.ooo_issued and not load.squashed:
+                load.ooo_issued = False
+                self.ooo_in_flight -= 1
+                passed.append(load)
+        return passed
+
+    def nilp_seq(self) -> Optional[int]:
+        """Sequence number of the oldest non-issued load, or ``None``.
+
+        Tolerates un-advanced fronts by scanning past issued entries
+        (the owner collects them with :meth:`advance` at its own
+        cadence).
+        """
+        for load in self._pending:
+            if load.squashed or load.mem_executed:
+                continue
+            return load.seq
+        return None
+
+    def is_in_order(self, load: DynInst) -> bool:
+        """True when ``load`` is the oldest non-issued load."""
+        nilp = self.nilp_seq()
+        return nilp is None or nilp >= load.seq
+
+    def mark_ooo_issue(self, load: DynInst) -> None:
+        load.ooo_issued = True
+        self.ooo_in_flight += 1
+
+    def on_squash(self, seq: int) -> None:
+        """Adjust the OOO count for squashed loads (queue entries are
+        pruned lazily by :meth:`advance`)."""
+        for load in reversed(self._pending):
+            if load.seq < seq:
+                break
+            if load.ooo_issued:
+                load.ooo_issued = False
+                self.ooo_in_flight -= 1

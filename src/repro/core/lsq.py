@@ -1,0 +1,608 @@
+"""The load/store queue: the orchestrating model of the paper's designs.
+
+One :class:`LoadStoreQueue` class covers every configuration in the
+evaluation; the :class:`~repro.config.LsqConfig` selects the design
+point:
+
+* **conventional** — every load searches the store queue (forwarding)
+  and the load queue (load-load ordering); every store searches the load
+  queue at *execute* (store-load ordering).  Searches arbitrate for
+  ``search_ports`` per queue per cycle.
+* **store-load pair predictor** (Section 2.1) — loads predicted
+  independent skip the store-queue search; store-load ordering checks
+  move to store *commit*.
+* **load buffer** (Section 2.2) — load-load checks move to a tiny
+  dedicated buffer of out-of-order-issued loads; the load queue is
+  searched only by stores.
+* **segmentation** (Section 3) — both queues become chains of segments;
+  searches pipeline across segments at one segment per cycle with
+  per-segment ports, and the Section 3.2 contention cases are resolved
+  by delaying store commits and squashing (or stalling) in-flight loads.
+
+The processor drives the queue through a small API:
+``allocate`` (dispatch), ``load_blocked``/``try_execute_load``/
+``try_execute_store`` (memory stage), ``try_commit_store``/
+``commit_load`` (retire), and ``squash_from`` (recovery).  The
+``try_*`` methods return ``Retry`` when structural hazards (ports,
+contention) require another attempt.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional
+
+from repro.config import (
+    LoadQueueSearchMode,
+    LsqConfig,
+    PredictorMode,
+    StoreSetConfig,
+)
+from repro.core.load_buffer import LoadBuffer, NilpTracker
+from repro.core.queues import PortCalendar, SegmentedQueue
+from repro.core.store_sets import make_predictor
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.pipeline.dyninst import DynInst
+from repro.stats.counters import SimStats
+
+#: Replay penalty (cycles) when a pipelined-search contention squashes an
+#: in-flight load — "similar to a flush due to a load miss" (Section 3.2),
+#: i.e. a scheduler replay, much cheaper than a full fetch squash.
+CONTENTION_REPLAY_PENALTY = 4
+
+#: Extra load latency when early (speculative) scheduling of the load's
+#: dependents is forgone because its segmented search is not confined to
+#: the head segment (Section 3): dependents wait for the value instead
+#: of being woken back-to-back, costing the scheduler's load-to-use loop.
+EARLY_SCHEDULING_PENALTY = 3
+
+
+class Violation(NamedTuple):
+    """A detected memory-order violation: squash ``squash_seq`` onward."""
+
+    squash_seq: int
+    kind: str                 # "store-load" | "load-load"
+    extra_penalty: int = 0    # e.g. pair-predictor counter rollback
+
+
+class Retry(NamedTuple):
+    """Structural hazard: try again at ``next_cycle``."""
+
+    next_cycle: int
+
+
+class LoadResult(NamedTuple):
+    latency: int              # cycles until the value is available
+    forwarded: bool
+    violation: Optional[Violation]
+
+
+class StoreResult(NamedTuple):
+    violation: Optional[Violation]
+
+
+class CommitResult(NamedTuple):
+    violation: Optional[Violation]
+
+
+class LoadStoreQueue:
+    """All four LSQ designs behind one processor-facing interface."""
+
+    def __init__(self, config: LsqConfig, ss_config: StoreSetConfig,
+                 memory: MemoryHierarchy, stats: SimStats,
+                 pair_rollback_penalty: int = 1,
+                 clear_interval: Optional[int] = None) -> None:
+        self.config = config
+        self.ss_config = ss_config
+        self.memory = memory
+        self.stats = stats
+        self.pair_rollback_penalty = pair_rollback_penalty
+
+        if config.segmented:
+            lq_shape = sq_shape = (config.segments, config.segment_entries)
+        else:
+            lq_shape = (1, config.lq_entries)
+            sq_shape = (1, config.sq_entries)
+        if config.unified_queue:
+            # One combined CAM: loads and stores share entries and every
+            # search arbitrates for the same ports.
+            entries = (config.segment_entries if config.segmented
+                       else config.lq_entries + config.sq_entries)
+            shape = (config.segments if config.segmented else 1, entries)
+            combined = SegmentedQueue("LSQ", *shape,
+                                      policy=config.allocation)
+            self.lq = self.sq = combined
+            self.lq_ports = self.sq_ports = PortCalendar(config.search_ports)
+        else:
+            self.lq = SegmentedQueue("LQ", *lq_shape,
+                                     policy=config.allocation)
+            self.sq = SegmentedQueue("SQ", *sq_shape,
+                                     policy=config.allocation)
+            self.lq_ports = PortCalendar(config.search_ports)
+            self.sq_ports = PortCalendar(config.search_ports)
+
+        self.predictor = make_predictor(config.predictor, ss_config, stats,
+                                        clear_interval)
+        self.load_buffer = LoadBuffer(config.load_buffer_entries)
+        self.nilp = NilpTracker()
+        self._stores: Dict[int, DynInst] = {}
+        # Memory barriers currently in flight (software load-load
+        # ordering, Section 2.2's first option).
+        self._membars: List[DynInst] = []
+        # Scheme (2): synthetic external-invalidation traffic.
+        self._inval_accum = 0.0
+        self._inval_ring: List[int] = []
+        self._inval_cursor = 0
+
+    # ------------------------------------------------------------------
+    # per-cycle upkeep
+    # ------------------------------------------------------------------
+
+    def begin_cycle(self, cycle: int) -> None:
+        self.lq_ports.begin_cycle(cycle)
+        self.sq_ports.begin_cycle(cycle)
+
+    def sample(self) -> None:
+        """Accumulate per-cycle occupancy statistics (Tables 4 and 5)."""
+        if self.config.unified_queue:
+            loads = sum(1 for e in self.lq.entries() if e.is_load)
+            self.stats.lq_occupancy_cycles += loads
+            self.stats.sq_occupancy_cycles += len(self.lq) - loads
+        else:
+            self.stats.lq_occupancy_cycles += len(self.lq)
+            self.stats.sq_occupancy_cycles += len(self.sq)
+        self.stats.ooo_load_cycles += self.nilp.ooo_in_flight
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+
+    def can_allocate(self, inst: DynInst) -> bool:
+        if inst.is_load:
+            return self.lq.can_allocate()
+        return self.sq.can_allocate()
+
+    def allocate(self, inst: DynInst) -> None:
+        if inst.is_load:
+            self.lq.allocate(inst)
+            self.nilp.on_allocate(inst)
+            self.predictor.on_load_dispatch(inst)
+            if inst.predicted_dependent:
+                self.stats.loads_predicted_dependent += 1
+        else:
+            self.sq.allocate(inst)
+            self._stores[inst.seq] = inst
+            self.predictor.on_store_dispatch(inst)
+
+    # ------------------------------------------------------------------
+    # load issue gating
+    # ------------------------------------------------------------------
+
+    def load_blocked(self, load: DynInst) -> Optional[str]:
+        """Why this load may not yet access memory (None when free)."""
+        if self._membar_blocks(load):
+            return "membar"
+        blocker = self._store_set_blocker(load)
+        if blocker is not None:
+            return blocker
+        mode = self.config.lq_search
+        if mode is LoadQueueSearchMode.LOAD_BUFFER:
+            if not self.nilp.is_in_order(load) and self.load_buffer.full:
+                return "load_buffer_full"
+        elif mode in (LoadQueueSearchMode.IN_ORDER,
+                      LoadQueueSearchMode.IN_ORDER_ALWAYS_SEARCH):
+            if not self.nilp.is_in_order(load):
+                return "in_order"
+        return None
+
+    def store_blocked(self, store: DynInst) -> Optional[str]:
+        """Why this store may not yet execute."""
+        if self._membar_blocks(store):
+            return "membar"
+        if self._store_set_order_blocks(store):
+            return "store_store"
+        return None
+
+    def _store_set_order_blocks(self, store: DynInst) -> bool:
+        """Chrysos/Emer store-store ordering within a set (optional)."""
+        if not self.ss_config.store_store_ordering or store.ssid is None:
+            return False
+        for other in self.sq.entries():
+            if other.seq >= store.seq:
+                break
+            if other.ssid == store.ssid and not other.mem_executed:
+                return True
+        return False
+
+    def _membar_blocks(self, inst: DynInst) -> bool:
+        """True when an older in-flight memory barrier is incomplete."""
+        if not self._membars:
+            return False
+        self._membars = [m for m in self._membars
+                         if not m.squashed and not m.complete]
+        return any(m.seq < inst.seq for m in self._membars)
+
+    # ------------------------------------------------------------------
+    # memory barriers (Section 2.2's software alternative)
+    # ------------------------------------------------------------------
+
+    def on_membar_dispatch(self, membar: DynInst) -> None:
+        self._membars.append(membar)
+
+    def try_execute_membar(self, membar: DynInst, cycle: int):
+        """A barrier completes once every older memory op is *performed*:
+        loads have their data back, stores have resolved addresses."""
+        for entry in self.lq.entries():
+            if entry.seq >= membar.seq:
+                break
+            if not entry.complete:
+                self.stats.membar_stalls += 1
+                return Retry(cycle + 1)
+        for entry in self.sq.entries():
+            if entry.seq >= membar.seq:
+                break
+            if not entry.mem_executed:
+                self.stats.membar_stalls += 1
+                return Retry(cycle + 1)
+        return StoreResult(violation=None)
+
+    # ------------------------------------------------------------------
+    # external invalidations (Section 2.2, scheme 2 / MIPS R10000)
+    # ------------------------------------------------------------------
+
+    def poll_invalidation(self, cycle: int) -> Optional[Violation]:
+        """Inject synthetic coherence traffic.
+
+        Invalidation arrivals are deterministic at ``invalidation_rate``
+        per cycle; each searches the load queue for outstanding loads to
+        a recently written line and squashes the oldest match, exactly
+        as the R10000 treats an external invalidation.
+        """
+        if self.config.lq_search is not LoadQueueSearchMode.INVALIDATION:
+            return None
+        self._inval_accum += self.config.invalidation_rate
+        if self._inval_accum < 1.0 or not self._inval_ring:
+            return None
+        self._inval_accum -= 1.0
+        addr = self._inval_ring[self._inval_cursor % len(self._inval_ring)]
+        self._inval_cursor += 1
+        self.stats.invalidation_searches += 1
+        self.stats.lq_searches += 1
+        for entry in self.lq.entries():
+            if entry.mem_executed and entry.addr == addr:
+                self.stats.load_load_squashes += 1
+                return Violation(entry.seq, "load-load")
+        return None
+
+    def _note_written_line(self, addr: int) -> None:
+        if self.config.lq_search is LoadQueueSearchMode.INVALIDATION:
+            if len(self._inval_ring) < 64:
+                self._inval_ring.append(addr)
+            else:
+                self._inval_ring[self._inval_cursor % 64] = addr
+
+    def _store_set_blocker(self, load: DynInst) -> Optional[str]:
+        if self.config.predictor is PredictorMode.PERFECT:
+            match = self._oracle_match(load)
+            if match is not None and not match.mem_executed:
+                return "store_set"
+            return None
+        if load.wait_store_seq is None:
+            return None
+        store = self._stores.get(load.wait_store_seq)
+        if (store is not None and not store.squashed
+                and not store.mem_executed and store.seq < load.seq):
+            return "store_set"
+        return None
+
+    def _oracle_match(self, load: DynInst) -> Optional[DynInst]:
+        """Youngest older overlapping store (oracle view of trace addrs)."""
+        best: Optional[DynInst] = None
+        for store in self.sq.entries():
+            if store.seq >= load.seq:
+                break
+            if store.is_store and store.overlaps(load):
+                best = store
+        return best
+
+    # ------------------------------------------------------------------
+    # load execution
+    # ------------------------------------------------------------------
+
+    def _needs_sq_search(self, load: DynInst) -> bool:
+        mode = self.config.predictor
+        if mode is PredictorMode.CONVENTIONAL:
+            return True
+        if mode is PredictorMode.PERFECT:
+            return self._oracle_match(load) is not None
+        return self.predictor.should_search(load)
+
+    def try_execute_load(self, load: DynInst, cycle: int):
+        """Attempt the memory-stage access for a load.
+
+        Returns a :class:`LoadResult`, or :class:`Retry` on a structural
+        hazard (search port, data-cache port, or pipelined-search
+        contention under the STALL policy / SQUASH replay).
+        """
+        need_sq = self._needs_sq_search(load)
+        mode = self.config.lq_search
+        need_lq = mode in (LoadQueueSearchMode.SEARCH_LQ,
+                           LoadQueueSearchMode.IN_ORDER_ALWAYS_SEARCH)
+
+        sq_plan = self.sq.backward_plan(load.seq) if need_sq else []
+        lq_plan = self.lq.forward_plan(load.seq) if need_lq else []
+        # Searches against a region the occupancy bits show empty do not
+        # activate the CAM, hence need no port (the search *event* is
+        # still counted against bandwidth demand, as in the paper).
+        sq_path = [seg for seg, __ in sq_plan]
+        lq_path = [seg for seg, __ in lq_plan]
+
+        if not self.memory.d_ports.available(cycle):
+            self.stats.dcache_port_stalls += 1
+            return Retry(cycle + 1)
+        if self.sq_ports is self.lq_ports and sq_path and lq_path:
+            # Unified queue: both searches draw on one port pool, so
+            # admission must consider their joint demand per slot.
+            outcome = self._admit_joint(self.sq_ports, sq_path, lq_path,
+                                        cycle)
+            if outcome is not None:
+                return outcome
+        else:
+            outcome = self._admit_search(self.sq_ports, sq_path, cycle,
+                                         self.stats, "sq")
+            if outcome is not None:
+                return outcome
+            outcome = self._admit_search(self.lq_ports, lq_path, cycle,
+                                         self.stats, "lq")
+            if outcome is not None:
+                return outcome
+
+        # All hazards cleared: reserve and perform.
+        self.memory.try_reserve_data_port(cycle)
+        self.sq_ports.reserve_path(sq_path, cycle)
+        self.lq_ports.reserve_path(lq_path, cycle)
+
+        forwarded_store, segments_searched = (None, 0)
+        if need_sq:
+            forwarded_store, segments_searched = self._sq_search(load, sq_plan)
+        violation = self._lq_ordering_check(load, lq_plan)
+
+        latency = self._load_latency(load, forwarded_store, segments_searched,
+                                     sq_path, cycle)
+        self._finish_load_issue(load)
+        return LoadResult(latency=latency,
+                          forwarded=forwarded_store is not None,
+                          violation=violation)
+
+    def _admit_joint(self, calendar: PortCalendar, path_a: List[int],
+                     path_b: List[int], cycle: int):
+        """Admission for two pipelined searches on one shared port pool."""
+        demand: Dict[tuple, int] = {}
+        for path in (path_a, path_b):
+            for offset, segment in enumerate(path):
+                key = (segment, cycle + offset)
+                demand[key] = demand.get(key, 0) + 1
+        shortfall_now = any(
+            calendar.free_ports(segment, at) < count
+            for (segment, at), count in demand.items() if at == cycle)
+        if shortfall_now:
+            self.stats.sq_port_stalls += 1
+            return Retry(cycle + 1)
+        shortfall_later = any(
+            calendar.free_ports(segment, at) < count
+            for (segment, at), count in demand.items() if at > cycle)
+        if shortfall_later:
+            if self.config.contention.value == "stall":
+                self.stats.contention_stalls += 1
+                return Retry(cycle + 1)
+            self.stats.contention_squashes += 1
+            return Retry(cycle + CONTENTION_REPLAY_PENALTY)
+        return None
+
+    def _admit_search(self, calendar: PortCalendar, path: List[int],
+                      cycle: int, stats: SimStats, which: str):
+        """Check a pipelined search path; None means admitted."""
+        if not path:
+            return None
+        state = calendar.check_path(path, cycle)
+        if state == "ok":
+            return None
+        if state == "busy_now":
+            if which == "sq":
+                stats.sq_port_stalls += 1
+            else:
+                stats.lq_port_stalls += 1
+            return Retry(cycle + 1)
+        # busy_later: Section 3.2 contention.
+        if self.config.contention.value == "stall":
+            stats.contention_stalls += 1
+            return Retry(cycle + 1)
+        stats.contention_squashes += 1
+        return Retry(cycle + CONTENTION_REPLAY_PENALTY)
+
+    def _sq_search(self, load: DynInst, plan) -> tuple:
+        """Forwarding search: youngest older overlapping *executed* store.
+
+        Returns ``(store_or_None, segments_searched)`` and records the
+        bandwidth/Table 6 statistics.
+        """
+        self.stats.sq_searches += 1
+        load.searched_sq = True
+        segments_searched = 0
+        match: Optional[DynInst] = None
+        for __, entries in plan:
+            segments_searched += 1
+            for store in entries:  # youngest first within a segment
+                if store.is_store and store.mem_executed \
+                        and store.overlaps(load):
+                    match = store
+                    break
+            if match is not None:
+                break
+        segments_searched = max(segments_searched, 1)
+        self.stats.sq_segment_visits += segments_searched
+        hist = self.stats.segment_search_hist
+        hist[segments_searched] = hist.get(segments_searched, 0) + 1
+        if match is not None:
+            self.stats.sq_search_matches += 1
+            self.stats.forwarded_loads += 1
+            load.forwarded_from = match.seq
+            load.forwarded_from_pc = match.pc
+        elif self.config.predictor in (PredictorMode.PAIR,
+                                       PredictorMode.AGGRESSIVE):
+            self.stats.useless_searches += 1
+        return match, segments_searched
+
+    def _lq_ordering_check(self, load: DynInst, plan) -> Optional[Violation]:
+        """Load-load ordering: find a younger, already-issued,
+        same-address load (Section 2.2)."""
+        mode = self.config.lq_search
+        if mode in (LoadQueueSearchMode.SEARCH_LQ,
+                    LoadQueueSearchMode.IN_ORDER_ALWAYS_SEARCH):
+            self.stats.lq_searches += 1
+            self.stats.lq_segment_visits += max(len(plan), 1)
+            for __, entries in plan:
+                for other in entries:  # oldest first
+                    if other.is_load and other.mem_executed \
+                            and other.overlaps(load):
+                        self.stats.load_load_squashes += 1
+                        return Violation(other.seq, "load-load")
+            return None
+        if mode is LoadQueueSearchMode.LOAD_BUFFER:
+            self.stats.load_buffer_searches += 1
+            hit = self.load_buffer.search(load)
+            if hit is not None:
+                self.stats.load_load_squashes += 1
+                return Violation(hit.seq, "load-load")
+        # MEMBAR and INVALIDATION modes: no per-load ordering search at
+        # all — ordering is the programmer's or the coherence protocol's
+        # job (Section 2.2).
+        return None
+
+    def _load_latency(self, load: DynInst, forwarded_store,
+                      segments_searched: int, sq_path: List[int],
+                      cycle: int) -> int:
+        if forwarded_store is not None:
+            latency = self.memory.config.l1d.hit_latency
+        else:
+            latency = self.memory.data_access(load.addr,
+                                              cycle=cycle).latency
+        if self.config.segmented:
+            latency += max(segments_searched - 1, 0)
+            if (self.config.early_scheduling_head_only and load.searched_sq
+                    and sq_path and sq_path[0] != self.sq.head_segment()):
+                # Section 3: early scheduling of dependents is forgone
+                # unless the search is confined to the head segment.
+                latency += EARLY_SCHEDULING_PENALTY
+        return latency
+
+    def _finish_load_issue(self, load: DynInst) -> None:
+        """NILP/LIV bookkeeping once the load's access is under way."""
+        in_order = self.nilp.is_in_order(load)
+        use_buffer = self.config.lq_search is LoadQueueSearchMode.LOAD_BUFFER
+        if not in_order:
+            self.nilp.mark_ooo_issue(load)
+            if use_buffer:
+                self.load_buffer.insert(load)
+        load.mem_executed = True
+        for passed in self.nilp.advance():
+            if use_buffer and passed.load_buffer_slot >= 0:
+                self.load_buffer.release(passed)
+                # The released load performs one final buffer search
+                # (Section 2.2.1); with sequential issue semantics it
+                # cannot find a new violation, but the bandwidth is real.
+                self.stats.load_buffer_searches += 1
+
+    # ------------------------------------------------------------------
+    # store execution and commit
+    # ------------------------------------------------------------------
+
+    def try_execute_store(self, store: DynInst, cycle: int):
+        """Store address generation + (conventional) load-queue search."""
+        if self.config.detection_at_commit:
+            store.mem_executed = True
+            self.predictor.on_store_issue(store)
+            return StoreResult(violation=None)
+
+        plan = self.lq.forward_plan(store.seq)
+        path = [seg for seg, __ in plan]
+        outcome = self._admit_search(self.lq_ports, path, cycle,
+                                     self.stats, "lq")
+        if outcome is not None:
+            return outcome
+        self.lq_ports.reserve_path(path, cycle)
+        store.mem_executed = True
+        self.predictor.on_store_issue(store)
+        violation = self._store_ordering_check(store, plan)
+        return StoreResult(violation=violation)
+
+    def _store_ordering_check(self, store: DynInst,
+                              plan) -> Optional[Violation]:
+        """Find the oldest younger issued load with a stale value."""
+        self.stats.lq_searches += 1
+        self.stats.lq_segment_visits += max(len(plan), 1)
+        for __, entries in plan:
+            for load in entries:  # oldest first
+                if not load.is_load or not load.mem_executed \
+                        or not load.overlaps(store):
+                    continue
+                if (load.forwarded_from is None
+                        or load.forwarded_from < store.seq):
+                    self.stats.store_load_squashes += 1
+                    self.predictor.train_violation(load.pc, store.pc)
+                    extra = 0
+                    if self.config.detection_at_commit:
+                        extra = self.pair_rollback_penalty
+                        self.stats.missed_dependences += 1
+                    return Violation(load.seq, "store-load",
+                                     extra_penalty=extra)
+        return None
+
+    def try_commit_store(self, store: DynInst, cycle: int):
+        """Retire a store: cache write plus (pair-mode) the deferred
+        store-load ordering search."""
+        if not self.memory.d_ports.available(cycle):
+            self.stats.dcache_port_stalls += 1
+            return Retry(cycle + 1)
+
+        violation: Optional[Violation] = None
+        if self.config.detection_at_commit:
+            plan = self.lq.forward_plan(store.seq)
+            path = [seg for seg, __ in plan]
+            state = self.lq_ports.check_path(path, cycle)
+            if state != "ok":
+                # Stores are no longer in the pipeline: contention is
+                # resolved by simply delaying the commit (Section 3.2).
+                self.stats.store_commit_delays += 1
+                return Retry(cycle + 1)
+            self.lq_ports.reserve_path(path, cycle)
+            violation = self._store_ordering_check(store, plan)
+
+        self.memory.try_reserve_data_port(cycle)
+        self.memory.data_access(store.addr, write=True, cycle=cycle)
+        self._note_written_line(store.addr)
+        self.predictor.on_store_commit(store)
+        self.sq.commit_head(store)
+        self._stores.pop(store.seq, None)
+        return CommitResult(violation=violation)
+
+    # ------------------------------------------------------------------
+    # load commit, squash
+    # ------------------------------------------------------------------
+
+    def commit_load(self, load: DynInst) -> None:
+        self.lq.commit_head(load)
+        if load.forwarded_from_pc is not None:
+            # Pair-predictor training on every observed match (Figure 2).
+            self.predictor.train_pair(load.pc, load.forwarded_from_pc)
+
+    def maybe_clear_predictor(self, committed: int) -> None:
+        self.predictor.maybe_clear(committed)
+
+    def squash_from(self, seq: int) -> None:
+        for store in self.sq.squash_from(seq):
+            self.predictor.on_store_squash(store)
+            self._stores.pop(store.seq, None)
+        self.nilp.on_squash(seq)
+        self.lq.squash_from(seq)
+        self.load_buffer.squash_from(seq)
+        self._membars = [m for m in self._membars if m.seq < seq]

@@ -1,0 +1,239 @@
+"""Queue structures for the (optionally segmented) load/store queue.
+
+A :class:`SegmentedQueue` is one side (loads or stores) of the LSQ.
+With ``segments == 1`` it degenerates to the conventional flat CAM.
+With more segments it implements Section 3: entries are allocated into
+chained segments under one of two policies and searches proceed one
+segment per cycle.
+
+* **no-self-circular** — the whole structure is one ring; allocation
+  advances linearly from segment to segment even when earlier segments
+  have free entries, so a small in-flight window still straddles
+  segment boundaries over time (the effect behind the integer slowdowns
+  in Figure 11).
+* **self-circular** — each segment is its own ring; allocation stays in
+  the current tail segment while it has free entries, compacting the
+  window into as few segments as possible.
+
+:class:`PortCalendar` books per-segment search ports cycle by cycle so
+pipelined multi-segment searches can detect the contention cases of
+Section 3.2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.config import AllocationPolicy
+
+
+class SegmentedQueue:
+    """One side of the LSQ: program-ordered entries in segments."""
+
+    def __init__(self, name: str, segments: int, segment_entries: int,
+                 policy: AllocationPolicy) -> None:
+        if segments < 1 or segment_entries < 1:
+            raise ValueError("segments and segment_entries must be >= 1")
+        self.name = name
+        self.num_segments = segments
+        self.segment_entries = segment_entries
+        self.policy = policy
+        self._segments: List[List] = [[] for _ in range(segments)]
+        self._order: List = []      # program order; head at _head
+        self._head = 0
+        self._virtual = 0           # ring cursor (no-self-circular)
+        self._tail_segment = 0      # current tail segment (self-circular)
+
+    # -- basic accessors ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._order) - self._head
+
+    @property
+    def capacity(self) -> int:
+        return self.num_segments * self.segment_entries
+
+    @property
+    def empty(self) -> bool:
+        return len(self) == 0
+
+    def entries(self) -> Iterable:
+        """In-flight entries in program order."""
+        return iter(self._order[self._head:])
+
+    @property
+    def oldest(self):
+        return self._order[self._head] if len(self) else None
+
+    @property
+    def youngest(self):
+        return self._order[-1] if len(self) else None
+
+    def head_segment(self) -> int:
+        """Segment holding the oldest entry (tail segment when empty)."""
+        oldest = self.oldest
+        if oldest is None:
+            return self._tail_segment if \
+                self.policy is AllocationPolicy.SELF_CIRCULAR else \
+                (self._virtual // self.segment_entries) % self.num_segments
+        return oldest.lsq_segment
+
+    # -- allocation ---------------------------------------------------------
+
+    def _target_segment(self) -> Optional[int]:
+        if self.policy is AllocationPolicy.NO_SELF_CIRCULAR:
+            target = (self._virtual // self.segment_entries) % self.num_segments
+            if len(self._segments[target]) < self.segment_entries:
+                return target
+            return None
+        # self-circular: stay in the tail segment while it has room.
+        for step in range(self.num_segments):
+            candidate = (self._tail_segment + step) % self.num_segments
+            if len(self._segments[candidate]) < self.segment_entries:
+                return candidate
+        return None
+
+    def can_allocate(self) -> bool:
+        return self._target_segment() is not None
+
+    def allocate(self, inst) -> int:
+        """Place ``inst`` (the current youngest) and return its segment."""
+        target = self._target_segment()
+        if target is None:
+            raise RuntimeError(f"{self.name}: allocate into a full queue")
+        inst.lsq_segment = target
+        inst.lsq_virtual = self._virtual
+        self._virtual += 1
+        self._tail_segment = target
+        self._segments[target].append(inst)
+        self._order.append(inst)
+        return target
+
+    # -- release ---------------------------------------------------------------
+
+    def commit_head(self, inst) -> None:
+        """Release the oldest entry (must be ``inst``)."""
+        if not len(self) or self._order[self._head] is not inst:
+            raise RuntimeError(f"{self.name}: commit out of order")
+        self._head += 1
+        segment = self._segments[inst.lsq_segment]
+        if not segment or segment[0] is not inst:
+            # The oldest overall entry is the oldest in its segment.
+            raise RuntimeError(f"{self.name}: segment bookkeeping broken")
+        segment.pop(0)
+        if self._head > 512:
+            del self._order[:self._head]
+            self._head = 0
+
+    def squash_from(self, seq: int) -> List:
+        """Drop every entry with sequence >= ``seq``; return them."""
+        dropped: List = []
+        while len(self) and self._order[-1].seq >= seq:
+            inst = self._order.pop()
+            dropped.append(inst)
+            segment = self._segments[inst.lsq_segment]
+            if segment and segment[-1] is inst:
+                segment.pop()
+            else:
+                segment.remove(inst)
+        if dropped:
+            self._virtual = dropped[-1].lsq_virtual
+            youngest = self.youngest
+            if youngest is not None:
+                self._tail_segment = youngest.lsq_segment
+            else:
+                self._tail_segment = (self._virtual // self.segment_entries
+                                      ) % self.num_segments
+        return dropped
+
+    # -- search plans ------------------------------------------------------
+
+    def backward_plan(self, seq: int) -> List[Tuple[int, List]]:
+        """Segments to visit for a backward (towards-head) search.
+
+        Returns ``[(segment, entries_older_than_seq_youngest_first), ...]``
+        starting at the segment holding the youngest older entry and
+        proceeding towards the head.  Empty segments are skipped (their
+        occupancy bits prune the search).
+        """
+        per_segment: Dict[int, List] = {}
+        for entry in self._order[self._head:]:
+            if entry.seq >= seq:
+                break
+            per_segment.setdefault(entry.lsq_segment, []).append(entry)
+        plan = sorted(per_segment.items(),
+                      key=lambda item: item[1][-1].seq, reverse=True)
+        return [(segment, list(reversed(entries)))
+                for segment, entries in plan]
+
+    def forward_plan(self, seq: int) -> List[Tuple[int, List]]:
+        """Segments to visit for a forward (towards-tail) search.
+
+        Returns ``[(segment, entries_younger_than_seq_oldest_first), ...]``
+        starting at the segment holding the oldest younger entry.
+        """
+        per_segment: Dict[int, List] = {}
+        for entry in reversed(self._order[self._head:]):
+            if entry.seq <= seq:
+                break
+            per_segment.setdefault(entry.lsq_segment, []).append(entry)
+        plan = sorted(per_segment.items(), key=lambda item: item[1][-1].seq)
+        return [(segment, list(reversed(entries)))
+                for segment, entries in plan]
+
+    def occupied_segments(self) -> int:
+        return sum(1 for seg in self._segments if seg)
+
+
+class PortCalendar:
+    """Cycle-by-cycle booking of per-segment search ports."""
+
+    def __init__(self, ports_per_segment: int) -> None:
+        if ports_per_segment <= 0:
+            raise ValueError("ports_per_segment must be positive")
+        self.ports = ports_per_segment
+        self._used: Dict[Tuple[int, int], int] = {}
+        self._sweep_cycle = 0
+
+    def available(self, segment: int, cycle: int) -> bool:
+        return self._used.get((segment, cycle), 0) < self.ports
+
+    def free_ports(self, segment: int, cycle: int) -> int:
+        return self.ports - self._used.get((segment, cycle), 0)
+
+    def reserve(self, segment: int, cycle: int) -> None:
+        key = (segment, cycle)
+        used = self._used.get(key, 0)
+        if used >= self.ports:
+            raise RuntimeError("reserving an exhausted port slot")
+        self._used[key] = used + 1
+
+    def check_path(self, segments: List[int], start_cycle: int) -> str:
+        """Classify availability along a pipelined search path.
+
+        Returns ``"ok"`` (all slots free), ``"busy_now"`` (the first
+        slot is taken — an ordinary structural stall), or
+        ``"busy_later"`` (a downstream slot is taken — the Section 3.2
+        contention case).
+        """
+        if not segments:
+            return "ok"
+        if not self.available(segments[0], start_cycle):
+            return "busy_now"
+        for offset, segment in enumerate(segments[1:], start=1):
+            if not self.available(segment, start_cycle + offset):
+                return "busy_later"
+        return "ok"
+
+    def reserve_path(self, segments: List[int], start_cycle: int) -> None:
+        for offset, segment in enumerate(segments):
+            self.reserve(segment, start_cycle + offset)
+
+    def begin_cycle(self, cycle: int) -> None:
+        """Garbage-collect bookings for past cycles."""
+        if cycle - self._sweep_cycle < 64:
+            return
+        self._sweep_cycle = cycle
+        stale = [key for key in self._used if key[1] < cycle]
+        for key in stale:
+            del self._used[key]

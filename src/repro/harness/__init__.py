@@ -1,0 +1,12 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+:mod:`repro.harness.experiment` provides the cached runner;
+:mod:`repro.harness.figures` defines one entry point per figure and
+table of the evaluation (Section 4), each returning a structured result
+with a ``format()`` text rendering that mirrors the paper's rows/series.
+"""
+
+from repro.harness.experiment import ExperimentRunner, default_runner
+from repro.harness import figures
+
+__all__ = ["ExperimentRunner", "default_runner", "figures"]

@@ -1,0 +1,98 @@
+"""Cached experiment runner.
+
+Each figure sweeps several LSQ configurations over the 18-benchmark
+suite.  Traces and simulation results are cached so figures that share
+configurations (e.g. the base case) pay for each run once per process.
+
+The run length defaults to ``REPRO_BENCH_INSTRUCTIONS`` (environment
+variable, default 6000): long enough for steady-state behaviour with
+warmed caches/predictors, short enough that a full figure regenerates in
+about a minute of pure-Python simulation.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.config import LsqConfig, MachineConfig, base_machine
+from repro.pipeline.processor import SimulationResult, simulate
+from repro.workload import ALL_BENCHMARKS, generate_trace
+from repro.workload.trace import Trace
+
+DEFAULT_INSTRUCTIONS = int(os.environ.get("REPRO_BENCH_INSTRUCTIONS", "6000"))
+
+
+class ExperimentRunner:
+    """Runs (benchmark, machine) pairs with trace and result caching."""
+
+    def __init__(self, n_instructions: int = DEFAULT_INSTRUCTIONS,
+                 seed: int = 0,
+                 benchmarks: Iterable[str] = ALL_BENCHMARKS) -> None:
+        self.n_instructions = n_instructions
+        self.seed = seed
+        self.benchmarks: Tuple[str, ...] = tuple(benchmarks)
+        self._traces: Dict[str, Trace] = {}
+        self._results: Dict[tuple, SimulationResult] = {}
+
+    def trace(self, benchmark: str) -> Trace:
+        if benchmark not in self._traces:
+            self._traces[benchmark] = generate_trace(
+                benchmark, n_instructions=self.n_instructions, seed=self.seed)
+        return self._traces[benchmark]
+
+    def run(self, benchmark: str, machine: MachineConfig) -> SimulationResult:
+        key = (benchmark, machine)
+        if key not in self._results:
+            self._results[key] = simulate(self.trace(benchmark), machine)
+        return self._results[key]
+
+    def run_suite(self, machine: MachineConfig,
+                  benchmarks: Optional[Iterable[str]] = None
+                  ) -> Dict[str, SimulationResult]:
+        names = tuple(benchmarks) if benchmarks is not None else self.benchmarks
+        return {name: self.run(name, machine) for name in names}
+
+    def run_lsq_suite(self, lsq: LsqConfig,
+                      machine: Optional[MachineConfig] = None
+                      ) -> Dict[str, SimulationResult]:
+        """Run the whole suite on ``machine`` (default: Table 1 base)
+        with its LSQ replaced by ``lsq``."""
+        from dataclasses import replace
+        base = machine if machine is not None else base_machine()
+        return self.run_suite(replace(base, lsq=lsq))
+
+
+    def run_seeds(self, benchmark: str, machine: MachineConfig,
+                  seeds: Iterable[int]) -> List[SimulationResult]:
+        """Run one (benchmark, machine) pair under several generator
+        seeds — the cheap way to put spread bars on any reported number
+        (synthetic traces are the only randomness in a run)."""
+        results = []
+        for seed in seeds:
+            trace = generate_trace(benchmark,
+                                   n_instructions=self.n_instructions,
+                                   seed=seed)
+            results.append(simulate(trace, machine))
+        return results
+
+
+def confidence(values: List[float]) -> Tuple[float, float]:
+    """(mean, half-range) of a small sample — the spread annotation used
+    by the multi-seed bench."""
+    if not values:
+        raise ValueError("no values")
+    mean = sum(values) / len(values)
+    half_range = (max(values) - min(values)) / 2
+    return mean, half_range
+
+
+_default_runner: Optional[ExperimentRunner] = None
+
+
+def default_runner() -> ExperimentRunner:
+    """Process-wide shared runner (the benches all reuse its cache)."""
+    global _default_runner
+    if _default_runner is None:
+        _default_runner = ExperimentRunner()
+    return _default_runner

@@ -1,0 +1,101 @@
+"""Terminal rendering of the paper's figures.
+
+The paper's figures are grouped bar charts over the benchmark suite.
+:func:`bar_chart` renders an :class:`~repro.harness.figures
+.ExperimentResult` the same way in plain text, so
+``examples/reproduce_paper.py --chart fig10`` shows the familiar shape
+without any plotting dependency.
+
+Values are parsed back out of the result's formatted cells ("+6.3%",
+"0.28", "1.93"), so the module works uniformly for speedup figures and
+ratio figures.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.harness.figures import ExperimentResult
+
+#: Glyph per series, cycled.
+_GLYPHS = "#*+o@x"
+
+
+def _parse(cell) -> Optional[float]:
+    text = str(cell).strip().rstrip("%")
+    try:
+        value = float(text)
+    except ValueError:
+        return None
+    if str(cell).strip().endswith("%"):
+        value /= 100.0
+    return value
+
+
+def _scale(value: float, lo: float, hi: float, width: int) -> int:
+    if hi <= lo:
+        return 0
+    return round((value - lo) / (hi - lo) * width)
+
+
+def bar_chart(result: ExperimentResult, width: int = 48) -> str:
+    """Render an experiment result as horizontal grouped bars.
+
+    Each benchmark row becomes a group; each column of the figure one
+    bar.  A vertical ``|`` marks zero for speedup-style results whose
+    range spans it.
+    """
+    parsed: List[Tuple[str, List[Optional[float]]]] = []
+    for row in result.rows:
+        parsed.append((str(row[0]), [_parse(cell) for cell in row[1:]]))
+    values = [v for __, vs in parsed for v in vs if v is not None]
+    if not values:
+        return result.format()
+    lo = min(0.0, min(values))
+    hi = max(0.0, max(values))
+    if lo == hi:
+        hi = lo + 1.0
+    zero = _scale(0.0, lo, hi, width)
+
+    label_w = max(len(name) for name, __ in parsed)
+    lines = [result.name, ""]
+    for series, header in enumerate(result.headers[1:]):
+        glyph = _GLYPHS[series % len(_GLYPHS)]
+        lines.append(f"  {glyph} = {header}")
+    lines.append("")
+    for name, series_values in parsed:
+        for series, value in enumerate(series_values):
+            glyph = _GLYPHS[series % len(_GLYPHS)]
+            label = name if series == 0 else ""
+            if value is None:
+                lines.append(f"{label:>{label_w}} |")
+                continue
+            at = _scale(value, lo, hi, width)
+            row = [" "] * (width + 1)
+            start, end = sorted((zero, at))
+            for i in range(start, end + 1):
+                row[i] = glyph
+            row[zero] = "|"
+            shown = f"{value * 100:+.1f}%" if abs(value) < 10 and \
+                any("%" in str(c) for r in result.rows for c in r[1:]) \
+                else f"{value:.2f}"
+            lines.append(f"{label:>{label_w}} {''.join(row)} {shown}")
+        lines.append("")
+    axis = f"{'':>{label_w}} {lo * 100:+.0f}%{'':>{max(width - 12, 0)}}" \
+        f"{hi * 100:+.0f}%"
+    lines.append(axis)
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line sparkline (occupancy over time, etc.)."""
+    blocks = " .:-=+*#%@"
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return blocks[0] * len(values)
+    return "".join(
+        blocks[min(int((v - lo) / (hi - lo) * (len(blocks) - 1)),
+                   len(blocks) - 1)]
+        for v in values)

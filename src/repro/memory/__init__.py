@@ -1,0 +1,6 @@
+"""Memory-hierarchy substrate: set-associative caches and the Table 1 stack."""
+
+from repro.memory.cache import Cache, CacheStats
+from repro.memory.hierarchy import AccessResult, MemoryHierarchy
+
+__all__ = ["Cache", "CacheStats", "MemoryHierarchy", "AccessResult"]

@@ -1,0 +1,95 @@
+"""A set-associative, write-back, write-allocate cache with true LRU.
+
+The simulator is timing-only: caches track tags, not data.  ``lookup``
+returns whether a block is present and updates recency; ``fill`` inserts
+a block and reports the victim (for write-back traffic accounting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.config import CacheConfig
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class Cache:
+    """Tag store for one cache level.
+
+    Each set is an ordered list of ``(tag, dirty)`` entries, most
+    recently used last.  True LRU replacement.
+    """
+
+    def __init__(self, config: CacheConfig, name: str = "cache") -> None:
+        self.config = config
+        self.name = name
+        self._block_shift = config.block_bytes.bit_length() - 1
+        if (1 << self._block_shift) != config.block_bytes:
+            raise ValueError("block size must be a power of two")
+        self._set_mask = config.num_sets - 1
+        # sets[i] is a list of [tag, dirty] pairs, LRU first.
+        self._sets: List[List[list]] = [[] for _ in range(config.num_sets)]
+        self.stats = CacheStats()
+
+    def _index_tag(self, addr: int):
+        block = addr >> self._block_shift
+        return block & self._set_mask, block >> (self._set_mask.bit_length())
+
+    def lookup(self, addr: int, write: bool = False) -> bool:
+        """Probe for the block holding ``addr``; update LRU on hit."""
+        index, tag = self._index_tag(addr)
+        entries = self._sets[index]
+        for i, entry in enumerate(entries):
+            if entry[0] == tag:
+                entries.append(entries.pop(i))
+                if write:
+                    entry[1] = True
+                self.stats.hits += 1
+                return True
+        self.stats.misses += 1
+        return False
+
+    def fill(self, addr: int, dirty: bool = False) -> Optional[int]:
+        """Insert the block for ``addr``; return the victim block address
+        if a dirty block was evicted (write-back), else ``None``."""
+        index, tag = self._index_tag(addr)
+        entries = self._sets[index]
+        for entry in entries:
+            if entry[0] == tag:  # already present (e.g. racing fill)
+                entry[1] = entry[1] or dirty
+                return None
+        victim_addr = None
+        if len(entries) >= self.config.associativity:
+            victim_tag, victim_dirty = entries.pop(0)
+            if victim_dirty:
+                self.stats.writebacks += 1
+                victim_addr = ((victim_tag << self._set_mask.bit_length() | index)
+                               << self._block_shift)
+        entries.append([tag, dirty])
+        return victim_addr
+
+    def contains(self, addr: int) -> bool:
+        """Non-destructive probe (no LRU update, no stats)."""
+        index, tag = self._index_tag(addr)
+        return any(entry[0] == tag for entry in self._sets[index])
+
+    def invalidate_all(self) -> None:
+        """Drop every block (used between independent simulations)."""
+        self._sets = [[] for _ in range(self.config.num_sets)]

@@ -1,0 +1,21 @@
+"""Out-of-order superscalar core substrate.
+
+The processor is a trace-driven, cycle-accurate model of the Table 1
+machine: hybrid branch prediction, a reorder buffer, an issue queue with
+wakeup/select, pipelined functional units, and in-order commit.  All
+memory disambiguation is delegated to a pluggable load/store queue from
+:mod:`repro.core`.
+"""
+
+from repro.pipeline.branch_predictor import HybridBranchPredictor
+from repro.pipeline.dyninst import DynInst, InstState
+from repro.pipeline.processor import Processor, SimulationResult, simulate
+
+__all__ = [
+    "HybridBranchPredictor",
+    "DynInst",
+    "InstState",
+    "Processor",
+    "SimulationResult",
+    "simulate",
+]

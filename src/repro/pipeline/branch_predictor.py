@@ -1,0 +1,93 @@
+"""Hybrid GAg + PAg branch predictor (Table 1: 4K entries each).
+
+* **GAg** — a global history register indexes a table of 2-bit
+  saturating counters.
+* **PAg** — a per-address history table (first-level) indexes a shared
+  second-level table of 2-bit counters.
+* **Chooser** — a table of 2-bit counters indexed by PC selects between
+  the two components, trained towards whichever component was correct.
+
+The simulator is trace driven, so the predictor sees the committed
+control flow; tables are updated immediately after each prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import BranchPredictorConfig
+
+
+def _saturate(counter: int, taken: bool) -> int:
+    if taken:
+        return min(counter + 1, 3)
+    return max(counter - 1, 0)
+
+
+@dataclass
+class BranchStats:
+    predictions: int = 0
+    mispredictions: int = 0
+
+    @property
+    def mispredict_rate(self) -> float:
+        if not self.predictions:
+            return 0.0
+        return self.mispredictions / self.predictions
+
+
+class HybridBranchPredictor:
+    """McFarling-style chooser over GAg and PAg components."""
+
+    def __init__(self, config: BranchPredictorConfig) -> None:
+        self.config = config
+        self._gag = [2] * config.gag_entries
+        self._pag = [2] * config.pag_entries
+        self._histories = [0] * config.pag_history_entries
+        self._chooser = [2] * config.chooser_entries
+        self._global_history = 0
+        self._history_mask = (1 << config.history_bits) - 1
+        self.stats = BranchStats()
+
+    def _gag_index(self) -> int:
+        return self._global_history & (self.config.gag_entries - 1)
+
+    def _pag_index(self, pc: int) -> int:
+        slot = (pc >> 2) & (self.config.pag_history_entries - 1)
+        return self._histories[slot] & (self.config.pag_entries - 1), slot
+
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        """Predict the branch at ``pc`` and train with the true outcome.
+
+        Returns ``True`` when the prediction was correct.
+        """
+        gag_index = self._gag_index()
+        pag_index, history_slot = self._pag_index(pc)
+        gag_pred = self._gag[gag_index] >= 2
+        pag_pred = self._pag[pag_index] >= 2
+
+        chooser_index = (pc >> 2) & (self.config.chooser_entries - 1)
+        use_pag = self._chooser[chooser_index] >= 2
+        prediction = pag_pred if use_pag else gag_pred
+
+        # Train components.
+        self._gag[gag_index] = _saturate(self._gag[gag_index], taken)
+        self._pag[pag_index] = _saturate(self._pag[pag_index], taken)
+        gag_correct = gag_pred == taken
+        pag_correct = pag_pred == taken
+        if gag_correct != pag_correct:
+            self._chooser[chooser_index] = _saturate(
+                self._chooser[chooser_index], pag_correct)
+
+        # Update histories.
+        self._global_history = ((self._global_history << 1) | int(taken)) \
+            & self._history_mask
+        self._histories[history_slot] = (
+            (self._histories[history_slot] << 1) | int(taken)
+        ) & self._history_mask
+
+        self.stats.predictions += 1
+        correct = prediction == taken
+        if not correct:
+            self.stats.mispredictions += 1
+        return correct

@@ -1,0 +1,109 @@
+"""Pipeline tracing: per-instruction stage timelines.
+
+Attach a :class:`PipelineTracer` to a :class:`~repro.pipeline.processor
+.Processor` before running and it records when each dynamic instruction
+was dispatched, issued, completed, committed, or squashed.  ``render``
+draws the classic pipetrace diagram — one row per instruction, one
+column per cycle — which makes LSQ behaviour (port retries, store-set
+waits, violation squashes) directly visible.
+
+>>> processor = Processor(base_machine())
+>>> processor.tracer = PipelineTracer(limit=200)
+>>> processor.run(trace)
+>>> print(processor.tracer.render(0, 40))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.pipeline.dyninst import DynInst
+
+#: Stage glyphs in the rendered diagram.
+GLYPHS = {
+    "dispatch": "D",
+    "issue": "I",
+    "complete": "C",
+    "commit": "R",       # retire
+    "squash": "x",
+}
+
+
+@dataclass
+class InstRecord:
+    """Stage timestamps for one dynamic instruction."""
+
+    seq: int
+    pc: int
+    op: str
+    dispatch: Optional[int] = None
+    issue: Optional[int] = None
+    complete: Optional[int] = None
+    commit: Optional[int] = None
+    squash: Optional[int] = None
+
+    def events(self):
+        for name in ("dispatch", "issue", "complete", "commit", "squash"):
+            cycle = getattr(self, name)
+            if cycle is not None:
+                yield name, cycle
+
+
+class PipelineTracer:
+    """Records stage events for the first ``limit`` dynamic instructions."""
+
+    def __init__(self, limit: int = 512) -> None:
+        self.limit = limit
+        self.records: Dict[int, InstRecord] = {}
+
+    def note(self, event: str, inst: DynInst, cycle: int) -> None:
+        """Called by the processor at each pipeline event."""
+        record = self.records.get(inst.seq)
+        if record is None:
+            if len(self.records) >= self.limit:
+                return
+            record = InstRecord(seq=inst.seq, pc=inst.pc,
+                                op=inst.inst.op.name)
+            self.records[inst.seq] = record
+        setattr(record, event, cycle)
+
+    # -- queries ----------------------------------------------------------
+
+    def record(self, seq: int) -> Optional[InstRecord]:
+        return self.records.get(seq)
+
+    def latency(self, seq: int) -> Optional[int]:
+        """Dispatch-to-commit latency of one instruction."""
+        record = self.records.get(seq)
+        if record is None or record.dispatch is None \
+                or record.commit is None:
+            return None
+        return record.commit - record.dispatch
+
+    def squashed_seqs(self) -> List[int]:
+        return [seq for seq, rec in self.records.items()
+                if rec.squash is not None]
+
+    # -- rendering -----------------------------------------------------------
+
+    def render(self, first_seq: int, last_seq: int,
+               max_width: int = 100) -> str:
+        """Pipetrace diagram for instructions in ``[first_seq, last_seq]``."""
+        rows = [rec for seq, rec in sorted(self.records.items())
+                if first_seq <= seq <= last_seq]
+        if not rows:
+            return "(no recorded instructions in range)"
+        start = min(cycle for rec in rows for __, cycle in rec.events())
+        end = max(cycle for rec in rows for __, cycle in rec.events())
+        span = min(end - start + 1, max_width)
+        lines = [f"cycles {start}..{start + span - 1} "
+                 f"(D=dispatch I=issue C=complete R=retire x=squash)"]
+        for rec in rows:
+            strip = [" "] * span
+            for name, cycle in rec.events():
+                offset = cycle - start
+                if 0 <= offset < span:
+                    strip[offset] = GLYPHS[name]
+            lines.append(f"{rec.seq:5d} {rec.op:9s} {''.join(strip)}")
+        return "\n".join(lines)

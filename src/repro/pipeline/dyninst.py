@@ -1,0 +1,113 @@
+"""Dynamic (in-flight) instruction state.
+
+A :class:`DynInst` wraps one trace :class:`~repro.workload.isa.Instruction`
+for one trip through the pipeline.  After a memory-order violation the
+same trace instruction is re-fetched as a *new* DynInst with a larger
+sequence number, so sequence numbers always reflect current program
+order among in-flight instructions.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional
+
+from repro.workload.isa import Instruction
+
+
+class InstState(enum.IntEnum):
+    DISPATCHED = 0   # in ROB + issue queue, waiting for operands
+    ISSUED = 1       # selected; executing (memory ops: address generation)
+    EXECUTING = 2    # memory ops: performing the LSQ/cache access
+    COMPLETE = 3     # result available; waiting for in-order commit
+    COMMITTED = 4
+    SQUASHED = 5
+
+
+class DynInst:
+    """One in-flight dynamic instruction."""
+
+    __slots__ = (
+        "seq", "trace_index", "inst", "state",
+        "pending_sources", "consumers", "prev_writer",
+        "issue_cycle", "complete_cycle",
+        "forwarded_from", "forwarded_from_pc", "ooo_issued",
+        "load_buffer_slot", "wait_store_seq", "predicted_dependent",
+        "searched_sq", "lsq_segment", "lsq_virtual", "ssid",
+        "mem_attempt_cycle", "mispredicted", "mem_executed",
+    )
+
+    def __init__(self, seq: int, trace_index: int, inst: Instruction) -> None:
+        self.seq = seq
+        self.trace_index = trace_index
+        self.inst = inst
+        self.state = InstState.DISPATCHED
+        self.pending_sources = 0
+        self.consumers: List["DynInst"] = []
+        self.prev_writer: Optional["DynInst"] = None
+        self.issue_cycle = -1
+        self.complete_cycle = -1
+        # -- memory bookkeeping -----------------------------------------
+        self.forwarded_from: Optional[int] = None  # seq of forwarding store
+        self.forwarded_from_pc: Optional[int] = None
+        self.ooo_issued = False          # issued while an older load wasn't
+        self.load_buffer_slot = -1
+        self.wait_store_seq: Optional[int] = None  # store-set synchronisation
+        self.predicted_dependent = False
+        self.searched_sq = False
+        self.lsq_segment = -1            # segment holding this entry
+        self.lsq_virtual = -1            # ring position (no-self-circular)
+        self.ssid: Optional[int] = None  # store-set id at dispatch
+        self.mem_attempt_cycle = -1
+        self.mispredicted = False
+        self.mem_executed = False        # address resolved at the LSQ
+
+    # -- convenience ------------------------------------------------------
+
+    @property
+    def is_load(self) -> bool:
+        return self.inst.is_load
+
+    @property
+    def is_store(self) -> bool:
+        return self.inst.is_store
+
+    @property
+    def is_memory(self) -> bool:
+        return self.inst.is_memory
+
+    @property
+    def is_branch(self) -> bool:
+        return self.inst.is_branch
+
+    @property
+    def addr(self) -> int:
+        return self.inst.addr
+
+    @property
+    def size(self) -> int:
+        return self.inst.size
+
+    @property
+    def pc(self) -> int:
+        return self.inst.pc
+
+    @property
+    def squashed(self) -> bool:
+        return self.state is InstState.SQUASHED
+
+    @property
+    def issued(self) -> bool:
+        return self.state in (InstState.ISSUED, InstState.EXECUTING,
+                              InstState.COMPLETE, InstState.COMMITTED)
+
+    @property
+    def complete(self) -> bool:
+        return self.state in (InstState.COMPLETE, InstState.COMMITTED)
+
+    def overlaps(self, other: "DynInst") -> bool:
+        return self.inst.overlaps(other.inst)
+
+    def __repr__(self) -> str:
+        return (f"DynInst(seq={self.seq}, pc={self.pc:#x}, "
+                f"op={self.inst.op.name}, state={self.state.name})")

@@ -1,0 +1,503 @@
+"""The out-of-order core: fetch, dispatch, issue, memory, commit.
+
+A trace-driven, cycle-accurate model of the Table 1 machine.  Control
+flow is always correct-path (mispredicted branches create fetch
+bubbles); memory-order violations squash and *replay* from the violating
+instruction, rewinding the trace fetch pointer exactly as the paper's
+squash-and-refetch recovery does.
+
+Cycle phasing (per simulated cycle, in this order):
+
+1. **commit** — retire completed instructions in order; stores write the
+   cache and (pair mode) run the deferred store-load ordering search.
+2. **complete** — scheduled writebacks wake dependents.
+3. **memory** — loads/stores whose address generation finished arbitrate
+   for LSQ search ports and the data cache; structural losers retry.
+4. **issue** — oldest-first select of ready instructions onto
+   functional units.
+5. **dispatch** — rename into ROB + issue queue + LSQ.
+6. **fetch** — fill the fetch buffer; branch predictor; I-cache.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional
+
+from repro.config import MachineConfig
+from repro.core.lsq import LoadStoreQueue, Retry, Violation
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.pipeline.branch_predictor import HybridBranchPredictor
+from repro.pipeline.dyninst import DynInst, InstState
+from repro.pipeline.functional_units import FunctionalUnits
+from repro.pipeline.issue_queue import IssueQueue
+from repro.pipeline.regfile import RegisterFile
+from repro.pipeline.rob import ReorderBuffer
+from repro.stats.counters import SimStats
+from repro.workload.isa import NO_REG
+from repro.workload.trace import Trace
+
+#: Abort if no instruction commits for this many cycles (deadlock guard).
+WATCHDOG_CYCLES = 50_000
+
+
+@dataclass
+class SimulationResult:
+    """Everything a harness needs from one run."""
+
+    trace_name: str
+    config: MachineConfig
+    stats: SimStats
+
+    @property
+    def ipc(self) -> float:
+        return self.stats.ipc
+
+
+class Processor:
+    """One configured machine ready to run one trace."""
+
+    def __init__(self, machine: MachineConfig,
+                 predictor_clear_interval: Optional[int] = None) -> None:
+        self.machine = machine
+        self.stats = SimStats()
+        self.memory = MemoryHierarchy(machine.memory)
+        kwargs = {}
+        if predictor_clear_interval is not None:
+            kwargs["clear_interval"] = predictor_clear_interval
+        self.lsq = LoadStoreQueue(
+            machine.lsq, machine.store_sets, self.memory, self.stats,
+            pair_rollback_penalty=machine.core.pair_rollback_penalty,
+            **kwargs)
+        self.branch_predictor = HybridBranchPredictor(machine.branch)
+        self.rob = ReorderBuffer(machine.core.rob_entries)
+        self.iq = IssueQueue(machine.core.issue_queue_entries)
+        self.fus = FunctionalUnits(machine.core.int_units,
+                                   machine.core.fp_units)
+        self.regfile = RegisterFile(machine.core.int_registers,
+                                    machine.core.fp_registers)
+
+        self.cycle = 0
+        self._seq = 0
+        self._fetch_index = 0
+        self._fetch_stall_until = 0
+        self._fetch_buffer: Deque[DynInst] = deque()
+        self._redirect_branch: Optional[DynInst] = None
+        self._last_fetch_block = -1
+        self._last_writer: Dict[int, DynInst] = {}
+        self._events: Dict[int, List[DynInst]] = {}
+        # memory stage: (seq, inst, attempt_cycle) sorted by seq
+        self._mem_stage: List[list] = []
+        self._last_commit_cycle = 0
+        self._trace: Optional[Trace] = None
+        #: Optional PipelineTracer (repro.pipeline.debug) recording
+        #: per-instruction stage timestamps.
+        self.tracer = None
+
+    # ------------------------------------------------------------------
+    # driver
+    # ------------------------------------------------------------------
+
+    def warm_caches(self, trace: Trace) -> None:
+        """Pre-touch every block the trace references, once.
+
+        The paper measures 500M instructions after skipping 3 billion,
+        i.e. with fully warm caches; our traces are short enough that
+        serial first-touch misses would otherwise dominate.  Warming
+        touches each unique block once, so capacity/conflict misses
+        (streams larger than a cache level) still occur in steady state.
+        """
+        seen_code = set()
+        seen_data = set()
+        for inst in trace:
+            block = inst.pc >> 5
+            if block not in seen_code:
+                seen_code.add(block)
+                self.memory.instruction_access(inst.pc)
+            if inst.is_memory and not trace.is_cold_address(inst.addr):
+                dblock = inst.addr >> 5
+                if dblock not in seen_data:
+                    seen_data.add(dblock)
+                    self.memory.data_access(inst.addr)
+
+    def warm_predictor(self, trace: Trace, window: int = 256) -> None:
+        """Pre-train the memory-dependence predictor.
+
+        The paper measures 500M instructions after skipping 3 billion, so
+        stable store-load pairs are fully trained before measurement
+        begins; on our short traces the one-violation-per-static-pair
+        training cost would otherwise masquerade as steady-state
+        overhead.  Every load whose address was last written by a store
+        at most ``window`` instructions earlier (the ROB reach) gets its
+        pair merged into the tables.  Periodic table clearing during the
+        measured run still exercises re-training.
+        """
+        recent_stores = {}
+        for index, inst in enumerate(trace):
+            if inst.is_store:
+                recent_stores[inst.addr] = (index, inst.pc)
+            elif inst.is_load:
+                hit = recent_stores.get(inst.addr)
+                if hit is not None and index - hit[0] <= window:
+                    self.lsq.predictor.train_violation(inst.pc, hit[1])
+
+    def run(self, trace: Trace, max_cycles: Optional[int] = None,
+            warm: bool = True) -> SimulationResult:
+        """Simulate the whole trace (or until ``max_cycles``)."""
+        if warm:
+            self.warm_caches(trace)
+            self.warm_predictor(trace)
+        self._trace = trace
+        while not self._finished():
+            self.step()
+            if max_cycles is not None and self.cycle >= max_cycles:
+                break
+            if self.cycle - self._last_commit_cycle > WATCHDOG_CYCLES:
+                raise RuntimeError(
+                    f"no commit for {WATCHDOG_CYCLES} cycles at cycle "
+                    f"{self.cycle} (trace {trace.name!r}); pipeline state: "
+                    f"rob={len(self.rob)}, iq={len(self.iq)}, "
+                    f"mem_stage={len(self._mem_stage)}")
+        self.stats.cycles = self.cycle
+        return SimulationResult(trace.name, self.machine, self.stats)
+
+    def _finished(self) -> bool:
+        return (self._trace is not None
+                and self._fetch_index >= len(self._trace)
+                and self.rob.empty and not self._fetch_buffer)
+
+    def step(self) -> None:
+        """Advance one cycle."""
+        self.lsq.begin_cycle(self.cycle)
+        self._commit()
+        self._complete()
+        self._memory_stage()
+        self._issue()
+        self._dispatch()
+        self._fetch()
+        self.lsq.sample()
+        self.cycle += 1
+
+    # ------------------------------------------------------------------
+    # 1. commit
+    # ------------------------------------------------------------------
+
+    def _commit(self) -> None:
+        for __ in range(self.machine.core.commit_width):
+            head = self.rob.head
+            if head is None or not head.complete:
+                return
+            violation: Optional[Violation] = None
+            if head.is_store:
+                outcome = self.lsq.try_commit_store(head, self.cycle)
+                if isinstance(outcome, Retry):
+                    return
+                violation = outcome.violation
+            elif head.is_load:
+                self.lsq.commit_load(head)
+            self.rob.commit_head()
+            self.regfile.release(head.inst.dest)
+            if self.tracer is not None:
+                self.tracer.note("commit", head, self.cycle)
+            self._count_commit(head)
+            self._last_commit_cycle = self.cycle
+            self.lsq.maybe_clear_predictor(self.stats.committed)
+            if violation is not None:
+                self._recover(violation)
+                return
+
+    def _count_commit(self, inst: DynInst) -> None:
+        self.stats.committed += 1
+        if inst.is_load:
+            self.stats.committed_loads += 1
+        elif inst.is_store:
+            self.stats.committed_stores += 1
+        elif inst.is_branch:
+            self.stats.committed_branches += 1
+        elif inst.inst.op.is_membar:
+            self.stats.committed_membars += 1
+
+    # ------------------------------------------------------------------
+    # 2. complete / writeback
+    # ------------------------------------------------------------------
+
+    def _schedule_completion(self, inst: DynInst, at_cycle: int) -> None:
+        self._events.setdefault(at_cycle, []).append(inst)
+
+    def _complete(self) -> None:
+        for inst in self._events.pop(self.cycle, []):
+            if inst.squashed:
+                continue
+            inst.state = InstState.COMPLETE
+            inst.complete_cycle = self.cycle
+            if self.tracer is not None:
+                self.tracer.note("complete", inst, self.cycle)
+            for consumer in inst.consumers:
+                if consumer.squashed:
+                    continue
+                consumer.pending_sources -= 1
+                if (consumer.pending_sources == 0
+                        and consumer.state is InstState.DISPATCHED):
+                    self.iq.wake(consumer)
+            if inst is self._redirect_branch:
+                self._redirect_branch = None
+                bubble = max(self.machine.core.branch_mispredict_penalty - 2,
+                             0)
+                self._fetch_stall_until = max(self._fetch_stall_until,
+                                              self.cycle + bubble)
+
+    # ------------------------------------------------------------------
+    # 3. memory stage
+    # ------------------------------------------------------------------
+
+    def _memory_stage(self) -> None:
+        invalidation = self.lsq.poll_invalidation(self.cycle)
+        if invalidation is not None:
+            self._recover(invalidation)
+            return
+        index = 0
+        while index < len(self._mem_stage):
+            entry = self._mem_stage[index]
+            __, inst, attempt = entry
+            if inst.squashed:
+                self._mem_stage.pop(index)
+                continue
+            if attempt > self.cycle:
+                index += 1
+                continue
+            if inst.is_load:
+                reason = self.lsq.load_blocked(inst)
+                if reason is not None:
+                    if reason == "load_buffer_full":
+                        self.stats.load_buffer_full_stalls += 1
+                    elif reason == "store_set":
+                        self.stats.store_set_waits += 1
+                    index += 1
+                    continue
+                outcome = self.lsq.try_execute_load(inst, self.cycle)
+                if isinstance(outcome, Retry):
+                    entry[2] = outcome.next_cycle
+                    index += 1
+                    continue
+                self._mem_stage.pop(index)
+                inst.state = InstState.EXECUTING
+                self._schedule_completion(inst, self.cycle + outcome.latency)
+                if outcome.violation is not None:
+                    self._recover(outcome.violation)
+                    return
+            elif inst.is_store:
+                if self.lsq.store_blocked(inst) is not None:
+                    index += 1
+                    continue
+                outcome = self.lsq.try_execute_store(inst, self.cycle)
+                if isinstance(outcome, Retry):
+                    entry[2] = outcome.next_cycle
+                    index += 1
+                    continue
+                self._mem_stage.pop(index)
+                inst.state = InstState.COMPLETE
+                inst.complete_cycle = self.cycle
+                if self.tracer is not None:
+                    self.tracer.note("complete", inst, self.cycle)
+                if outcome.violation is not None:
+                    self._recover(outcome.violation)
+                    return
+            else:  # memory barrier
+                outcome = self.lsq.try_execute_membar(inst, self.cycle)
+                if isinstance(outcome, Retry):
+                    entry[2] = outcome.next_cycle
+                    index += 1
+                    continue
+                self._mem_stage.pop(index)
+                inst.state = InstState.COMPLETE
+                inst.complete_cycle = self.cycle
+                if self.tracer is not None:
+                    self.tracer.note("complete", inst, self.cycle)
+
+    # ------------------------------------------------------------------
+    # 4. issue
+    # ------------------------------------------------------------------
+
+    def _issue(self) -> None:
+        issued = 0
+        deferred: List[DynInst] = []
+        attempts = 0
+        max_attempts = self.machine.core.issue_width * 3
+        while issued < self.machine.core.issue_width and \
+                attempts < max_attempts:
+            attempts += 1
+            inst = self.iq.pop_ready()
+            if inst is None:
+                break
+            if not self.fus.try_issue(inst.inst.op, self.cycle):
+                deferred.append(inst)
+                continue
+            self.iq.release()
+            inst.state = InstState.ISSUED
+            inst.issue_cycle = self.cycle
+            if self.tracer is not None:
+                self.tracer.note("issue", inst, self.cycle)
+            issued += 1
+            if inst.is_memory or inst.inst.op.is_membar:
+                # One cycle of address generation (memory ops), then the
+                # LSQ access; barriers wait here for older memory ops.
+                bisect.insort(self._mem_stage,
+                              [inst.seq, inst, self.cycle + 1])
+            else:
+                self._schedule_completion(
+                    inst, self.cycle + inst.inst.latency)
+        for inst in deferred:
+            self.iq.unpop(inst)
+
+    # ------------------------------------------------------------------
+    # 5. dispatch
+    # ------------------------------------------------------------------
+
+    def _dispatch(self) -> None:
+        for __ in range(self.machine.core.issue_width):
+            if not self._fetch_buffer:
+                return
+            inst = self._fetch_buffer[0]
+            if self.rob.full:
+                self.stats.rob_full_stalls += 1
+                return
+            if self.iq.full:
+                self.stats.iq_full_stalls += 1
+                return
+            if inst.is_memory and not self.lsq.can_allocate(inst):
+                if inst.is_load:
+                    self.stats.lq_full_stalls += 1
+                else:
+                    self.stats.sq_full_stalls += 1
+                return
+            if not self.regfile.can_rename(inst.inst.dest):
+                self.regfile.rename_stalls += 1
+                return
+            self._fetch_buffer.popleft()
+            if self.tracer is not None:
+                self.tracer.note("dispatch", inst, self.cycle)
+            self._wire_dependences(inst)
+            self.regfile.rename(inst.inst.dest)
+            self.rob.dispatch(inst)
+            self.iq.dispatch(inst)
+            if inst.is_memory:
+                self.lsq.allocate(inst)
+            elif inst.inst.op.is_membar:
+                self.lsq.on_membar_dispatch(inst)
+
+    def _wire_dependences(self, inst: DynInst) -> None:
+        for src in inst.inst.srcs:
+            if src == NO_REG:
+                continue
+            writer = self._last_writer.get(src)
+            if writer is not None and not writer.complete \
+                    and not writer.squashed:
+                writer.consumers.append(inst)
+                inst.pending_sources += 1
+        dest = inst.inst.dest
+        if dest != NO_REG:
+            inst.prev_writer = self._last_writer.get(dest)
+            self._last_writer[dest] = inst
+
+    # ------------------------------------------------------------------
+    # 6. fetch
+    # ------------------------------------------------------------------
+
+    def _fetch(self) -> None:
+        if self.cycle < self._fetch_stall_until:
+            return
+        if self._redirect_branch is not None:
+            return
+        trace = self._trace
+        fetched = 0
+        limit = self.machine.core.fetch_width
+        buffer_cap = 2 * limit
+        while (fetched < limit and len(self._fetch_buffer) < buffer_cap
+                and self._fetch_index < len(trace)):
+            raw = trace[self._fetch_index]
+            block = raw.pc >> 6
+            if block != self._last_fetch_block:
+                self._last_fetch_block = block
+                access = self.memory.instruction_access(raw.pc)
+                if not access.l1_hit:
+                    self._fetch_stall_until = self.cycle + access.latency
+                    return
+            dyn = DynInst(self._seq, self._fetch_index, raw)
+            self._seq += 1
+            self._fetch_index += 1
+            self._fetch_buffer.append(dyn)
+            fetched += 1
+            if raw.is_branch:
+                correct = self.branch_predictor.predict_and_update(
+                    raw.pc, raw.taken)
+                if not correct:
+                    dyn.mispredicted = True
+                    self.stats.branch_mispredicts += 1
+                    self._redirect_branch = dyn
+                    return
+                if raw.taken:
+                    return  # one taken branch per fetch group
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+
+    def _recover(self, violation: Violation) -> None:
+        """Squash from the violating instruction and replay."""
+        seq = violation.squash_seq
+        self.lsq.squash_from(seq)
+        squashed = self.rob.squash_from(seq)  # youngest first
+        in_queue = 0
+        for inst in squashed:
+            if self.tracer is not None:
+                self.tracer.note("squash", inst, self.cycle)
+            dest = inst.inst.dest
+            if dest != NO_REG and self._last_writer.get(dest) is inst:
+                if inst.prev_writer is not None:
+                    self._last_writer[dest] = inst.prev_writer
+                else:
+                    del self._last_writer[dest]
+            if dest != NO_REG:
+                self.regfile.release(dest)
+            in_queue += 1 if self._was_in_issue_queue(inst) else 0
+        self.iq.squash(in_queue)
+        self._mem_stage = [entry for entry in self._mem_stage
+                           if entry[0] < seq]
+        # Squashed instructions still in the fetch buffer: the buffer is
+        # younger than anything in the ROB, so clear it wholesale.
+        self._fetch_buffer.clear()
+        # The squash may have swallowed the mispredicted branch we were
+        # waiting on — including while it was still in the fetch buffer,
+        # where it never transitions to SQUASHED.
+        if self._redirect_branch is not None and \
+                self._redirect_branch.seq >= seq:
+            self._redirect_branch = None
+        if squashed:
+            self._fetch_index = squashed[-1].trace_index
+        penalty = (self.machine.core.branch_mispredict_penalty
+                   + violation.extra_penalty)
+        self._fetch_stall_until = max(self._fetch_stall_until,
+                                      self.cycle + penalty)
+        self._last_fetch_block = -1
+
+    @staticmethod
+    def _was_in_issue_queue(inst: DynInst) -> bool:
+        # rob.squash_from() already flipped states to SQUASHED; an
+        # instruction occupied an IQ slot iff it had not yet issued.
+        return inst.issue_cycle < 0
+
+
+def simulate(trace: Trace, machine: MachineConfig,
+             max_cycles: Optional[int] = None,
+             predictor_clear_interval: Optional[int] = None,
+             warm: bool = True) -> SimulationResult:
+    """Run ``trace`` on ``machine`` and return the statistics.
+
+    ``warm`` pre-touches caches (see :meth:`Processor.warm_caches`);
+    disable it to study cold-start behaviour.
+    """
+    processor = Processor(machine,
+                          predictor_clear_interval=predictor_clear_interval)
+    return processor.run(trace, max_cycles=max_cycles, warm=warm)

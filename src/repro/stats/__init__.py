@@ -1,0 +1,23 @@
+"""Simulation statistics: counters, derived metrics, and reporting."""
+
+from repro.stats.analysis import (
+    SweepSummary,
+    calibration_report,
+    correlation,
+    rank_agreement,
+    search_pressure,
+)
+from repro.stats.counters import SimStats
+from repro.stats.report import format_table, geometric_mean, speedup
+
+__all__ = [
+    "SimStats",
+    "format_table",
+    "geometric_mean",
+    "speedup",
+    "correlation",
+    "rank_agreement",
+    "search_pressure",
+    "SweepSummary",
+    "calibration_report",
+]

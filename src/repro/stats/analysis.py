@@ -1,0 +1,152 @@
+"""Cross-run analysis helpers.
+
+Built on top of :class:`~repro.stats.counters.SimStats`, these compare a
+sweep of simulation results against each other and against the paper's
+published numbers:
+
+* :func:`correlation` — Pearson r between measured and target series
+  (used to validate the synthetic calibration against Tables 2/4/5).
+* :func:`rank_agreement` — Spearman-style rank correlation: do the same
+  benchmarks win/lose in the same order?
+* :func:`search_pressure` — decompose where a configuration's cycles
+  went (port stalls, waits, squashes) relative to a baseline.
+* :class:`SweepSummary` — tabulate a {config: {bench: result}} sweep.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence
+
+from repro.stats.counters import SimStats
+from repro.stats.report import format_table, geometric_mean
+
+
+def correlation(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation coefficient of two equal-length series."""
+    if len(xs) != len(ys):
+        raise ValueError("series must have equal length")
+    n = len(xs)
+    if n < 2:
+        raise ValueError("need at least two points")
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    if var_x == 0 or var_y == 0:
+        raise ValueError("a series is constant")
+    return cov / math.sqrt(var_x * var_y)
+
+
+def _ranks(values: Sequence[float]) -> List[float]:
+    order = sorted(range(len(values)), key=lambda i: values[i])
+    ranks = [0.0] * len(values)
+    i = 0
+    while i < len(order):
+        j = i
+        while j + 1 < len(order) and \
+                values[order[j + 1]] == values[order[i]]:
+            j += 1
+        rank = (i + j) / 2 + 1
+        for k in range(i, j + 1):
+            ranks[order[k]] = rank
+        i = j + 1
+    return ranks
+
+
+def rank_agreement(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Spearman rank correlation (Pearson over ranks, tie-aware)."""
+    return correlation(_ranks(xs), _ranks(ys))
+
+
+@dataclass
+class PressureBreakdown:
+    """Where a configuration's stall events sit relative to a baseline."""
+
+    sq_port_stalls: int
+    lq_port_stalls: int
+    dcache_port_stalls: int
+    store_set_waits: int
+    load_buffer_full_stalls: int
+    store_commit_delays: int
+    violation_squashes: int
+    dispatch_stalls: int
+
+    def dominant(self) -> str:
+        """The largest pressure source, by event count."""
+        items = vars(self)
+        return max(items, key=items.get)
+
+    def format(self) -> str:
+        rows = sorted(vars(self).items(), key=lambda kv: -kv[1])
+        return format_table(["pressure source", "events"],
+                            [[k, v] for k, v in rows])
+
+
+def search_pressure(stats: SimStats) -> PressureBreakdown:
+    """Summarise a run's structural-pressure counters."""
+    return PressureBreakdown(
+        sq_port_stalls=stats.sq_port_stalls,
+        lq_port_stalls=stats.lq_port_stalls,
+        dcache_port_stalls=stats.dcache_port_stalls,
+        store_set_waits=stats.store_set_waits,
+        load_buffer_full_stalls=stats.load_buffer_full_stalls,
+        store_commit_delays=stats.store_commit_delays,
+        violation_squashes=stats.violation_squashes,
+        dispatch_stalls=(stats.lq_full_stalls + stats.sq_full_stalls
+                         + stats.rob_full_stalls + stats.iq_full_stalls),
+    )
+
+
+@dataclass
+class SweepSummary:
+    """Tabulated view of a {config_label: {bench: ipc}} sweep."""
+
+    ipc: Dict[str, Dict[str, float]]       # config -> bench -> IPC
+    baseline: str                          # config label used as 1.0
+
+    def speedups(self) -> Dict[str, Dict[str, float]]:
+        base = self.ipc[self.baseline]
+        return {label: {bench: ipc / base[bench]
+                        for bench, ipc in per_bench.items()}
+                for label, per_bench in self.ipc.items()}
+
+    def averages(self) -> Dict[str, float]:
+        """Geomean speedup per configuration (1.0 = baseline parity)."""
+        return {label: geometric_mean(list(per_bench.values()))
+                for label, per_bench in self.speedups().items()}
+
+    def best_config(self) -> str:
+        averages = self.averages()
+        return max(averages, key=averages.get)
+
+    def format(self) -> str:
+        benches = sorted(self.ipc[self.baseline])
+        headers = ["bench"] + list(self.ipc)
+        rows = []
+        for bench in benches:
+            rows.append([bench] + [f"{self.ipc[label][bench]:.2f}"
+                                   for label in self.ipc])
+        rows.append(["geomean-speedup"]
+                    + [f"{avg:.3f}" for avg in self.averages().values()])
+        return format_table(headers, rows,
+                            title=f"IPC sweep (baseline: {self.baseline})")
+
+
+def calibration_report(measured: Mapping[str, float],
+                       target: Mapping[str, float],
+                       label: str = "metric") -> str:
+    """Compare a measured per-benchmark series against paper targets."""
+    names = [n for n in measured if n in target]
+    xs = [measured[n] for n in names]
+    ys = [target[n] for n in names]
+    rows = [[n, f"{measured[n]:.2f}", f"{target[n]:.2f}",
+             f"{measured[n] - target[n]:+.2f}"] for n in names]
+    table = format_table(["bench", "measured", "paper", "delta"], rows,
+                         title=f"Calibration: {label}")
+    pearson = correlation(xs, ys)
+    spearman = rank_agreement(xs, ys)
+    return (f"{table}\nPearson r = {pearson:.3f}, "
+            f"rank agreement = {spearman:.3f}")

@@ -1,0 +1,134 @@
+"""All counters collected during one simulation.
+
+The counters map one-to-one onto the paper's reported metrics:
+
+* ``sq_searches`` / ``lq_searches`` — the search-bandwidth demands of
+  Figures 6 and 8 (events, not port-cycles; per-segment traffic is
+  tracked separately in ``sq_segment_visits`` / ``lq_segment_visits``).
+* ``segment_search_hist`` — Table 6's distribution of segments searched
+  per load forwarding search.
+* ``ooo_load_cycles`` — integral of out-of-order-issued loads in flight,
+  for Table 4.
+* ``lq_occupancy_cycles`` / ``sq_occupancy_cycles`` — Table 5.
+* predictor counters — Table 3's misprediction and squash rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class SimStats:
+    # -- progress ---------------------------------------------------------
+    cycles: int = 0
+    committed: int = 0
+    committed_loads: int = 0
+    committed_stores: int = 0
+    committed_branches: int = 0
+    committed_membars: int = 0
+
+    # -- control flow -------------------------------------------------------
+    branch_mispredicts: int = 0
+
+    # -- squashes -----------------------------------------------------------
+    store_load_squashes: int = 0
+    load_load_squashes: int = 0
+    contention_squashes: int = 0
+
+    # -- LSQ search bandwidth -------------------------------------------------
+    sq_searches: int = 0            # load -> store queue (forwarding)
+    sq_segment_visits: int = 0
+    lq_searches: int = 0            # store/load -> load queue (ordering)
+    lq_segment_visits: int = 0
+    load_buffer_searches: int = 0   # load -> load buffer (free bandwidth)
+    forwarded_loads: int = 0
+    sq_search_matches: int = 0
+
+    # -- segmented queue behaviour ---------------------------------------------
+    segment_search_hist: Dict[int, int] = field(default_factory=dict)
+    store_commit_delays: int = 0
+    contention_stalls: int = 0
+
+    # -- predictor (Table 3) ------------------------------------------------
+    membar_stalls: int = 0          # cycles memory ops waited on barriers
+    invalidation_searches: int = 0  # scheme-(2) LQ searches
+
+    loads_predicted_dependent: int = 0
+    useless_searches: int = 0       # predicted dependent, no match found
+    missed_dependences: int = 0     # predicted independent, squashed later
+    store_set_waits: int = 0
+
+    # -- port pressure ----------------------------------------------------
+    sq_port_stalls: int = 0
+    lq_port_stalls: int = 0
+    dcache_port_stalls: int = 0
+
+    # -- occupancy integrals (divide by cycles for averages) -----------------
+    lq_occupancy_cycles: int = 0
+    sq_occupancy_cycles: int = 0
+    ooo_load_cycles: int = 0
+    load_buffer_full_stalls: int = 0
+
+    # -- dispatch stalls ------------------------------------------------------
+    lq_full_stalls: int = 0
+    sq_full_stalls: int = 0
+    rob_full_stalls: int = 0
+    iq_full_stalls: int = 0
+
+    # -- derived -------------------------------------------------------------
+
+    @property
+    def ipc(self) -> float:
+        return self.committed / self.cycles if self.cycles else 0.0
+
+    @property
+    def useful_ipc(self) -> float:
+        """IPC over non-barrier instructions — the right basis when
+        comparing membar-instrumented traces against barrier-free ones
+        (barriers are overhead, not work)."""
+        if not self.cycles:
+            return 0.0
+        return (self.committed - self.committed_membars) / self.cycles
+
+    @property
+    def avg_lq_occupancy(self) -> float:
+        return self.lq_occupancy_cycles / self.cycles if self.cycles else 0.0
+
+    @property
+    def avg_sq_occupancy(self) -> float:
+        return self.sq_occupancy_cycles / self.cycles if self.cycles else 0.0
+
+    @property
+    def avg_ooo_loads(self) -> float:
+        return self.ooo_load_cycles / self.cycles if self.cycles else 0.0
+
+    @property
+    def violation_squashes(self) -> int:
+        return (self.store_load_squashes + self.load_load_squashes
+                + self.contention_squashes)
+
+    @property
+    def squash_rate(self) -> float:
+        """Store-load order squashes per committed instruction (Table 3)."""
+        if not self.committed:
+            return 0.0
+        return self.store_load_squashes / self.committed
+
+    @property
+    def predictor_mispredict_rate(self) -> float:
+        """Table 3: mispredictions (useless searches + missed
+        dependences) per committed load."""
+        if not self.committed_loads:
+            return 0.0
+        return ((self.useless_searches + self.missed_dependences)
+                / self.committed_loads)
+
+    def segment_search_distribution(self) -> Dict[int, float]:
+        """Table 6: fraction of forwarding searches touching k segments."""
+        total = sum(self.segment_search_hist.values())
+        if not total:
+            return {}
+        return {k: v / total
+                for k, v in sorted(self.segment_search_hist.items())}

@@ -1,0 +1,51 @@
+"""Workload substrate: instruction model, traces, and SPEC2K-like generators.
+
+The paper evaluates on SPEC2K reference runs (skip 3 billion, simulate
+500 million instructions).  Those binaries and traces are not available
+here, so this package provides a *synthetic* equivalent: a loop-structured
+trace generator (:mod:`repro.workload.synthetic`) driven by per-benchmark
+statistical profiles (:mod:`repro.workload.spec2k`) calibrated to the
+characteristics the paper itself reports — instruction mix, ILP,
+store-to-load forwarding behaviour, queue occupancies, and cache
+locality.  See DESIGN.md for the substitution rationale.
+"""
+
+from repro.workload.isa import Instruction, OpClass
+from repro.workload.trace import Trace
+from repro.workload.spec2k import (
+    BenchmarkProfile,
+    SPEC2K_PROFILES,
+    INT_BENCHMARKS,
+    FP_BENCHMARKS,
+    ALL_BENCHMARKS,
+    profile_for,
+)
+from repro.workload.synthetic import SyntheticProgram, generate_trace
+from repro.workload.tools import (
+    address_locality,
+    burstiness,
+    dependence_profile,
+    mix_report,
+    same_address_load_pairs,
+    store_load_match_distances,
+)
+
+__all__ = [
+    "Instruction",
+    "OpClass",
+    "Trace",
+    "BenchmarkProfile",
+    "SPEC2K_PROFILES",
+    "INT_BENCHMARKS",
+    "FP_BENCHMARKS",
+    "ALL_BENCHMARKS",
+    "profile_for",
+    "SyntheticProgram",
+    "generate_trace",
+    "mix_report",
+    "store_load_match_distances",
+    "dependence_profile",
+    "address_locality",
+    "same_address_load_pairs",
+    "burstiness",
+]

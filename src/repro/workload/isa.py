@@ -1,0 +1,153 @@
+"""The simulator's instruction model.
+
+The simulator is *trace driven*: each :class:`Instruction` is a fully
+resolved dynamic instruction carrying its program counter, register
+dependences, effective address (for memory operations) and branch
+outcome.  The out-of-order core honours the register and memory
+dependences cycle-accurately; it does not interpret values.
+
+Registers 0..31 are integer architectural registers and 32..63 are
+floating-point registers; ``NO_REG`` (-1) means "no operand".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Tuple
+
+NO_REG = -1
+
+#: Number of integer architectural registers (FP registers follow).
+INT_REG_BASE = 0
+FP_REG_BASE = 32
+NUM_ARCH_REGS = 64
+
+
+class OpClass(enum.IntEnum):
+    """Functional classes recognised by the core."""
+
+    INT_ALU = 0
+    INT_MUL = 1
+    FP_ALU = 2
+    FP_MUL = 3
+    LOAD = 4
+    STORE = 5
+    BRANCH = 6
+    FP_LOAD = 7
+    FP_STORE = 8
+    MEMBAR = 9
+
+    @property
+    def is_load(self) -> bool:
+        return self in (OpClass.LOAD, OpClass.FP_LOAD)
+
+    @property
+    def is_store(self) -> bool:
+        return self in (OpClass.STORE, OpClass.FP_STORE)
+
+    @property
+    def is_memory(self) -> bool:
+        return self.is_load or self.is_store
+
+    @property
+    def is_branch(self) -> bool:
+        return self is OpClass.BRANCH
+
+    @property
+    def is_membar(self) -> bool:
+        return self is OpClass.MEMBAR
+
+    @property
+    def is_fp(self) -> bool:
+        return self in (OpClass.FP_ALU, OpClass.FP_MUL, OpClass.FP_LOAD,
+                        OpClass.FP_STORE)
+
+
+#: Execution latency (cycles) per functional class.  Memory classes give
+#: the address-generation latency; the cache access is modelled
+#: separately by the memory hierarchy.
+EXECUTION_LATENCY = {
+    OpClass.INT_ALU: 1,
+    OpClass.INT_MUL: 3,
+    OpClass.FP_ALU: 2,
+    OpClass.FP_MUL: 4,
+    OpClass.LOAD: 1,
+    OpClass.STORE: 1,
+    OpClass.BRANCH: 1,
+    OpClass.FP_LOAD: 1,
+    OpClass.FP_STORE: 1,
+    OpClass.MEMBAR: 1,
+}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One dynamic instruction of a trace.
+
+    Attributes
+    ----------
+    pc:
+        Program counter of the static instruction (byte address).
+    op:
+        Functional class.
+    dest:
+        Destination architectural register, or ``NO_REG``.
+    srcs:
+        Source architectural registers (``NO_REG`` entries are ignored).
+    addr:
+        Effective address for loads/stores, else -1.
+    size:
+        Access size in bytes for loads/stores.
+    taken:
+        Branch outcome (meaningful only for branches).
+    target:
+        Branch target PC (meaningful only for branches).
+    """
+
+    pc: int
+    op: OpClass
+    dest: int = NO_REG
+    srcs: Tuple[int, ...] = field(default=())
+    addr: int = -1
+    size: int = 8
+    taken: bool = False
+    target: int = 0
+
+    def __post_init__(self) -> None:
+        if self.op.is_memory and self.addr < 0:
+            raise ValueError(f"memory instruction at pc={self.pc:#x} needs an address")
+        if self.op.is_memory and self.size <= 0:
+            raise ValueError("memory access size must be positive")
+
+    @property
+    def is_load(self) -> bool:
+        return self.op.is_load
+
+    @property
+    def is_store(self) -> bool:
+        return self.op.is_store
+
+    @property
+    def is_memory(self) -> bool:
+        return self.op.is_memory
+
+    @property
+    def is_branch(self) -> bool:
+        return self.op.is_branch
+
+    @property
+    def latency(self) -> int:
+        return EXECUTION_LATENCY[self.op]
+
+    def overlaps(self, other: "Instruction") -> bool:
+        """True when the two accesses touch at least one common byte."""
+        if not (self.is_memory and other.is_memory):
+            return False
+        return (self.addr < other.addr + other.size
+                and other.addr < self.addr + self.size)
+
+
+def make_nop(pc: int) -> Instruction:
+    """A dependence-free single-cycle integer op (used as filler)."""
+    return Instruction(pc=pc, op=OpClass.INT_ALU)

@@ -1,0 +1,440 @@
+"""Per-benchmark statistical profiles for the synthetic SPEC2K workloads.
+
+The paper reports, per benchmark: base IPC (Table 2), the average number
+of out-of-order-issued loads (Table 4), average load/store queue
+occupancies (Table 5), and several in-text instruction-mix facts (mgrid:
+51% loads / 2% stores; vortex: 18% loads / 23% stores; equake: 42%
+loads).  Each :class:`BenchmarkProfile` encodes those targets plus the
+generator knobs that reproduce the *mechanisms* the paper's techniques
+respond to:
+
+* instruction mix and dependence distances (ILP),
+* cache locality (streaming vs. pointer-chasing vs. resident),
+* store-to-load forwarding pairs and their PC (in)stability,
+* pair groups sharing SSIT indices — the source of the "constructive
+  interference" that makes the realistic predictor out-perform the
+  alias-free aggressive predictor on vortex and wupwise (Section 4.1.1),
+* same-address load pairs (load-load ordering traffic).
+
+The knob values were calibrated by running the base machine
+(``scripts/calibrate.py``) and comparing against Tables 2, 4
+and 5; they are inputs to :mod:`repro.workload.synthetic`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+KB = 1024
+MB = 1024 * KB
+
+
+@dataclass(frozen=True)
+class BenchmarkProfile:
+    """Generator knobs + paper-reported targets for one benchmark."""
+
+    name: str
+    suite: str  # "INT" or "FP"
+
+    # -- paper-reported targets (for calibration and reporting) --------
+    base_ipc: float            # Table 2
+    ooo_loads: float           # Table 4
+    lq_occupancy: int          # Table 5 (avg load-queue entries)
+    sq_occupancy: int          # Table 5 (avg store-queue entries)
+
+    # -- instruction mix ------------------------------------------------
+    load_frac: float
+    store_frac: float
+    branch_frac: float
+    fp_frac: float             # FP share of compute (non-memory, non-branch)
+
+    # -- dataflow / ILP ------------------------------------------------
+    dep_distance: float = 4.0  # mean producer->consumer distance (slots)
+    unroll: int = 2            # independent strands in the loop body
+    kernel_size: int = 64      # static slots per kernel body
+    num_kernels: int = 2       # kernels cycled phase-wise
+    loop_trip: int = 64        # iterations per phase
+    computed_addr_frac: float = 0.3  # loads whose address comes off a chain
+
+    # -- memory locality -------------------------------------------------
+    l1_footprint: int = 32 * KB   # hot streamed data
+    l2_footprint: int = 1 * MB    # cold region (L2-resident or larger)
+    cold_frac: float = 0.05       # loads touching the cold region
+    chase_loads: int = 0          # pointer-chase slots per body (serial chains)
+    chase_footprint: int = 0      # chase region (0 = use l2_footprint)
+    chase_period: int = 1         # chase advances every Nth iteration
+    cold_period: int = 1          # cold loads advance every Nth iteration
+    cold_on_chain: bool = False   # cold loads' addresses come off the chase
+
+    # -- store-to-load forwarding behaviour ------------------------------
+    pair_frac: float = 0.15       # loads paired with an in-flight store
+    forward_lag: int = 0          # iterations between store and paired load
+    pair_noise: float = 0.10      # paired load reads a perturbed address
+    pair_group_size: int = 1      # load PCs sharing one store stream+SSIT set
+
+    # -- load-load ordering traffic ---------------------------------------
+    same_addr_load_frac: float = 0.02  # loads duplicating a recent load addr
+
+    # -- control flow -----------------------------------------------------
+    branch_noise: float = 0.05    # share of branch slots with random outcome
+
+    # -- software memory-ordering alternative (Section 2.2) ----------------
+    #: "none" (hardware load-load ordering), "targeted" (a barrier before
+    #: each same-address reload only — ideal software), or
+    #: "conservative" (a barrier before *every* load — the defensive
+    #: software the paper calls an overkill).
+    membar_policy: str = "none"
+
+    def __post_init__(self) -> None:
+        total = self.load_frac + self.store_frac + self.branch_frac
+        if not 0.0 < total < 1.0:
+            raise ValueError(
+                f"{self.name}: load+store+branch fractions must leave room "
+                f"for compute (got {total:.2f})"
+            )
+        if self.membar_policy not in ("none", "targeted", "conservative"):
+            raise ValueError(f"{self.name}: bad membar_policy "
+                             f"{self.membar_policy!r}")
+        for frac_name in ("load_frac", "store_frac", "branch_frac", "fp_frac",
+                          "cold_frac", "pair_frac", "pair_noise",
+                          "same_addr_load_frac", "branch_noise",
+                          "computed_addr_frac"):
+            value = getattr(self, frac_name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{self.name}: {frac_name} out of [0, 1]")
+
+    @property
+    def is_fp(self) -> bool:
+        return self.suite == "FP"
+
+
+def _int(name: str, **kw) -> BenchmarkProfile:
+    return BenchmarkProfile(name=name, suite="INT", fp_frac=kw.pop("fp_frac", 0.0), **kw)
+
+
+def _fp(name: str, **kw) -> BenchmarkProfile:
+    return BenchmarkProfile(name=name, suite="FP", fp_frac=kw.pop("fp_frac", 0.75), **kw)
+
+
+#: The nine SPECint2000 and nine SPECfp2000 applications of Table 2.
+SPEC2K_PROFILES: Dict[str, BenchmarkProfile] = {p.name: p for p in [
+    # ---------------- integer ----------------
+    _int("bzip",
+         base_ipc=2.5,
+         ooo_loads=3.4,
+         lq_occupancy=16,
+         sq_occupancy=6,
+         load_frac=0.26,
+         store_frac=0.09,
+         branch_frac=0.12,
+         dep_distance=5.0,
+         unroll=3,
+         computed_addr_frac=0.6,
+         l1_footprint=384 * KB,
+         cold_frac=0.02,
+         cold_period=14,
+         pair_frac=0.12,
+         pair_noise=0.12,
+         branch_noise=0.03),
+    _int("gcc",
+         base_ipc=2.1,
+         ooo_loads=0.3,
+         lq_occupancy=7,
+         sq_occupancy=6,
+         load_frac=0.25,
+         store_frac=0.12,
+         branch_frac=0.18,
+         kernel_size=96,
+         num_kernels=3,
+         loop_trip=24,
+         computed_addr_frac=0.1,
+         l1_footprint=48 * KB,
+         cold_frac=0.0,
+         pair_frac=0.18,
+         pair_noise=0.35,
+         pair_group_size=2,
+         branch_noise=0.12),
+    _int("gzip",
+         base_ipc=2.0,
+         ooo_loads=0.8,
+         lq_occupancy=14,
+         sq_occupancy=7,
+         load_frac=0.22,
+         store_frac=0.1,
+         branch_frac=0.14,
+         computed_addr_frac=0.02,
+         l1_footprint=96 * KB,
+         cold_frac=0.02,
+         cold_period=8,
+         pair_frac=0.1,
+         branch_noise=0.06),
+    _int("mcf",
+         base_ipc=0.3,
+         ooo_loads=0.2,
+         lq_occupancy=40,
+         sq_occupancy=9,
+         load_frac=0.3,
+         store_frac=0.09,
+         branch_frac=0.17,
+         dep_distance=3.0,
+         unroll=1,
+         kernel_size=56,
+         computed_addr_frac=0.95,
+         l2_footprint=24 * MB,
+         cold_frac=0.2,
+         cold_on_chain=True,
+         chase_loads=1,
+         pair_frac=0.05,
+         pair_noise=0.12,
+         branch_noise=0.1),
+    _int("parser",
+         base_ipc=1.9,
+         ooo_loads=0.8,
+         lq_occupancy=21,
+         sq_occupancy=9,
+         load_frac=0.24,
+         store_frac=0.09,
+         branch_frac=0.16,
+         computed_addr_frac=0.1,
+         l1_footprint=96 * KB,
+         cold_frac=0.02,
+         cold_period=12,
+         pair_frac=0.14,
+         pair_noise=0.16,
+         branch_noise=0.07),
+    _int("perl",
+         base_ipc=3.0,
+         ooo_loads=3.2,
+         lq_occupancy=34,
+         sq_occupancy=20,
+         load_frac=0.28,
+         store_frac=0.15,
+         branch_frac=0.12,
+         dep_distance=5.0,
+         unroll=3,
+         computed_addr_frac=0.5,
+         l1_footprint=32 * KB,
+         cold_frac=0.0,
+         pair_frac=0.18,
+         pair_noise=0.12,
+         branch_noise=0.01),
+    _int("twolf",
+         base_ipc=1.5,
+         ooo_loads=1.0,
+         lq_occupancy=18,
+         sq_occupancy=6,
+         load_frac=0.24,
+         store_frac=0.07,
+         branch_frac=0.14,
+         dep_distance=3.5,
+         computed_addr_frac=0.05,
+         l1_footprint=96 * KB,
+         l2_footprint=4 * MB,
+         cold_frac=0.04,
+         cold_period=5,
+         pair_frac=0.08,
+         branch_noise=0.09),
+    _int("vortex",
+         base_ipc=2.2,
+         ooo_loads=1.9,
+         lq_occupancy=13,
+         sq_occupancy=18,
+         load_frac=0.18,
+         store_frac=0.23,
+         branch_frac=0.14,
+         dep_distance=5.0,
+         unroll=3,
+         kernel_size=112,
+         num_kernels=3,
+         loop_trip=20,
+         computed_addr_frac=0.60,
+         l1_footprint=48 * KB,
+         cold_frac=0.02,
+         cold_period=16,
+         pair_frac=0.3,
+         pair_noise=0.18,
+         pair_group_size=6,
+         branch_noise=0.1),
+    _int("vpr",
+         base_ipc=1.3,
+         ooo_loads=1.5,
+         lq_occupancy=41,
+         sq_occupancy=15,
+         load_frac=0.28,
+         store_frac=0.1,
+         branch_frac=0.12,
+         computed_addr_frac=0.15,
+         l1_footprint=160 * KB,
+         l2_footprint=4 * MB,
+         cold_period=4,
+         pair_frac=0.12,
+         pair_noise=0.14,
+         branch_noise=0.08),
+    # ---------------- floating point ----------------
+    _fp("ammp",
+         base_ipc=1.2,
+         ooo_loads=1.2,
+         lq_occupancy=65,
+         sq_occupancy=28,
+         load_frac=0.3,
+         store_frac=0.13,
+         branch_frac=0.05,
+         computed_addr_frac=0.0,
+         l1_footprint=192 * KB,
+         l2_footprint=8 * MB,
+         cold_period=4,
+         pair_frac=0.06,
+         branch_noise=0.02),
+    _fp("applu",
+         base_ipc=2.6,
+         ooo_loads=1.5,
+         lq_occupancy=49,
+         sq_occupancy=19,
+         load_frac=0.28,
+         store_frac=0.11,
+         branch_frac=0.03,
+         dep_distance=6.0,
+         computed_addr_frac=0.0,
+         l1_footprint=256 * KB,
+         l2_footprint=8 * MB,
+         cold_frac=0.02,
+         cold_period=16,
+         pair_frac=0.12,
+         pair_noise=0.08,
+         branch_noise=0.01),
+    _fp("art",
+         base_ipc=0.3,
+         ooo_loads=3.4,
+         lq_occupancy=49,
+         sq_occupancy=17,
+         load_frac=0.32,
+         store_frac=0.11,
+         branch_frac=0.09,
+         kernel_size=48,
+         computed_addr_frac=0.10,
+         l2_footprint=8 * MB,
+         cold_frac=0.55,
+         pair_frac=0.08,
+         branch_noise=0.04),
+    _fp("equake",
+         base_ipc=1.1,
+         ooo_loads=2.5,
+         lq_occupancy=72,
+         sq_occupancy=15,
+         load_frac=0.42,
+         store_frac=0.07,
+         branch_frac=0.05,
+         dep_distance=6.0,
+         computed_addr_frac=0.05,
+         l1_footprint=256 * KB,
+         l2_footprint=8 * MB,
+         cold_frac=0.04,
+         cold_period=4,
+         pair_frac=0.08,
+         pair_noise=0.08,
+         same_addr_load_frac=0.005,
+         branch_noise=0.02),
+    _fp("mesa",
+         base_ipc=3.3,
+         ooo_loads=0.9,
+         lq_occupancy=33,
+         sq_occupancy=20,
+         load_frac=0.27,
+         store_frac=0.14,
+         branch_frac=0.08,
+         dep_distance=8.0,
+         computed_addr_frac=0.2,
+         l1_footprint=16 * KB,
+         cold_frac=0.02,
+         cold_period=20,
+         pair_frac=0.16,
+         branch_noise=0.01),
+    _fp("mgrid",
+         base_ipc=2.2,
+         ooo_loads=2.9,
+         lq_occupancy=90,
+         sq_occupancy=4,
+         load_frac=0.51,
+         store_frac=0.02,
+         branch_frac=0.02,
+         dep_distance=8.0,
+         unroll=4,
+         computed_addr_frac=0.08,
+         l1_footprint=1 * MB,
+         cold_frac=0.02,
+         cold_period=24,
+         pair_frac=0.04,
+         pair_noise=0.05,
+         same_addr_load_frac=0.0,
+         branch_noise=0.01),
+    _fp("sixtrack",
+         base_ipc=2.9,
+         ooo_loads=1.0,
+         lq_occupancy=60,
+         sq_occupancy=30,
+         load_frac=0.3,
+         store_frac=0.15,
+         branch_frac=0.05,
+         dep_distance=8.0,
+         unroll=4,
+         computed_addr_frac=0.15,
+         l1_footprint=48 * KB,
+         cold_frac=0.02,
+         cold_period=20,
+         pair_frac=0.1,
+         pair_noise=0.08,
+         branch_noise=0.02),
+    _fp("swim",
+         base_ipc=1.0,
+         ooo_loads=0.9,
+         lq_occupancy=70,
+         sq_occupancy=21,
+         load_frac=0.35,
+         store_frac=0.1,
+         branch_frac=0.02,
+         dep_distance=5.0,
+         computed_addr_frac=0.05,
+         l1_footprint=512 * KB,
+         l2_footprint=16 * MB,
+         cold_period=3,
+         pair_frac=0.08,
+         pair_noise=0.08,
+         branch_noise=0.01),
+    _fp("wupwise",
+         base_ipc=2.9,
+         ooo_loads=2.3,
+         lq_occupancy=47,
+         sq_occupancy=31,
+         load_frac=0.24,
+         store_frac=0.16,
+         branch_frac=0.05,
+         dep_distance=8.0,
+         unroll=4,
+         kernel_size=112,
+         num_kernels=3,
+         loop_trip=20,
+         computed_addr_frac=0.60,
+         cold_frac=0.02,
+         cold_period=12,
+         pair_frac=0.16,
+         pair_noise=0.15,
+         pair_group_size=6,
+         branch_noise=0.04),
+]}
+
+INT_BENCHMARKS: Tuple[str, ...] = tuple(
+    p.name for p in SPEC2K_PROFILES.values() if p.suite == "INT")
+FP_BENCHMARKS: Tuple[str, ...] = tuple(
+    p.name for p in SPEC2K_PROFILES.values() if p.suite == "FP")
+ALL_BENCHMARKS: Tuple[str, ...] = INT_BENCHMARKS + FP_BENCHMARKS
+
+
+def profile_for(name: str) -> BenchmarkProfile:
+    """Look up a benchmark profile by name."""
+    try:
+        return SPEC2K_PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; choose from {sorted(SPEC2K_PROFILES)}"
+        ) from None

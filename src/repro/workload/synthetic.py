@@ -1,0 +1,653 @@
+"""Loop-structured synthetic trace generator.
+
+A :class:`SyntheticProgram` compiles a :class:`BenchmarkProfile` into a
+small set of *kernels* — loop bodies of static instruction slots with
+fixed PCs — and then unrolls them dynamically into a
+:class:`~repro.workload.trace.Trace`.  Static PCs repeat every
+iteration, which is what makes the store-set / store-load pair
+predictors (which are PC-indexed) behave as they do on real code.
+
+The generator realises each profile knob with an explicit mechanism:
+
+``load_frac`` / ``store_frac`` / ``branch_frac`` / ``fp_frac``
+    slot-type composition of the loop body.
+``dep_distance`` / ``unroll``
+    register dataflow: sources are drawn from recently written
+    destinations at roughly geometric distances; ``unroll`` independent
+    strands bound the achievable ILP.
+``computed_addr_frac``
+    a load's address register is either the (fast) induction variable or
+    the tail of a compute chain; chain-fed loads become ready late,
+    which is how loads come to issue *out of order* (Table 4).
+``pair_frac`` / ``forward_lag`` / ``pair_noise`` / ``pair_group_size``
+    store-to-load forwarding pairs: a paired load reads the address its
+    partner store wrote ``forward_lag`` (plus its group-member index)
+    iterations earlier.  Members of a pair group are distinct load PCs
+    deliberately placed at the same SSIT index, reproducing the
+    constructive-aliasing effect of Section 4.1.1.
+``cold_frac`` / ``l1_footprint`` / ``l2_footprint`` / ``chase_loads``
+    cache behaviour, from L1-resident up to memory-bound dependent
+    chains.
+``same_addr_load_frac``
+    same-address load pairs — the traffic policed by load-load ordering
+    (Section 2.2).
+``branch_noise``
+    hard-to-predict branch slots.
+
+Everything is deterministic in ``(profile, seed)``: string hashing uses
+FNV-1a rather than Python's randomised ``hash``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.workload.addrgen import (
+    AddressStream,
+    PointerChaseStream,
+    RandomStream,
+    StackStream,
+    StridedStream,
+)
+from repro.workload.isa import FP_REG_BASE, NO_REG, Instruction, OpClass
+from repro.workload.spec2k import BenchmarkProfile, profile_for
+from repro.workload.trace import Trace
+
+#: SSIT size mirrored from the predictor (Table 1: 4K entries); pair
+#: groups use it to construct deliberately colliding PCs.
+SSIT_ENTRIES = 4096
+
+
+def ssit_index(pc: int, entries: int = SSIT_ENTRIES) -> int:
+    """The SSIT hash used by the predictor (XOR-folded word PC)."""
+    return ((pc >> 2) ^ (pc >> 14)) & (entries - 1)
+
+
+def colliding_pc(leader_pc: int, member: int, salt: int = 0,
+                 entries: int = SSIT_ENTRIES) -> int:
+    """A PC with the same SSIT index as ``leader_pc`` but in a different
+    16K page (hence a different I-cache set).
+
+    Inverts the XOR-fold: for high half ``h`` the low half must be
+    ``index ^ h``.  ``salt`` (the group id) spreads distinct groups
+    across pages so their relocated blocks do not fight over I-cache
+    sets either.
+    """
+    index = ssit_index(leader_pc, entries)
+    # Page steps of 9 flip low-offset bits through the XOR-fold (so the
+    # relocated blocks land in distinct I-cache sets); 64 separates
+    # groups.
+    high = (leader_pc >> 14) + 1 + 9 * member + 64 * salt
+    low = (index ^ high) & (entries - 1)
+    return (high << 14) | (low << 2) | (leader_pc & 3)
+
+
+def fnv1a(text: str) -> int:
+    """Deterministic 32-bit string hash (Python's ``hash`` is salted)."""
+    value = 0x811C9DC5
+    for byte in text.encode("utf-8"):
+        value = ((value ^ byte) * 0x01000193) & 0xFFFFFFFF
+    return value
+
+
+# Address-space layout (disjoint regions).
+_HOT_LOAD_BASE = 0x1000_0000
+_HOT_STORE_BASE = 0x1800_0000
+_COLD_BASE = 0x2000_0000
+_STACK_BASE = 0x3000_0000
+_NOISE_BASE = 0x4000_0000
+_CODE_BASE = 0x0040_0000
+# Odd multiple of 8K so distinct kernels do not alias in the
+# (1024-set, 32B-block) L1-I cache.
+_KERNEL_PC_SPAN = 0x8_2000
+
+
+@dataclass
+class _Slot:
+    """One static instruction of a kernel body."""
+
+    pc: int
+    op: OpClass
+    dest: int = NO_REG
+    srcs: tuple = ()
+    stream: Optional[AddressStream] = None
+    outcome: Optional[Callable[[random.Random], bool]] = None
+    target: int = 0
+    noise_prob: float = 0.0
+    is_backedge: bool = False
+    # Pair-group rotation: this load matches its store only on
+    # iterations where ``iteration % match_modulo == match_member``.
+    match_member: int = 0
+    match_modulo: int = 1
+    # Cold/chase slots advance their stream only every Nth iteration and
+    # re-touch the (now cached) address otherwise — the steady-state
+    # reuse a repeated sweep over a large structure exhibits.  Misses
+    # per body = cold slots / advance_period.
+    advance_period: int = 1
+    last_addr: int = -1
+
+
+class _Kernel:
+    """A loop body: an ordered list of slots plus its entry PC."""
+
+    def __init__(self, slots: List[_Slot], base_pc: int) -> None:
+        self.slots = slots
+        self.base_pc = base_pc
+
+
+class _Strand:
+    """Register-allocation state for one independent dataflow strand."""
+
+    def __init__(self, int_regs: Sequence[int], fp_regs: Sequence[int]) -> None:
+        self.int_regs = list(int_regs)
+        self.fp_regs = list(fp_regs)
+        self.induction = self.int_regs[0]
+        # Register 0 of the strand is the induction variable; register 1
+        # is reserved for pointer-chase chains (it must never be
+        # clobbered by the rotating destination pool or the chain
+        # breaks).
+        self.chain_reg = self.int_regs[1] if len(self.int_regs) > 2 \
+            else self.int_regs[0]
+        self._int_cursor = 2 if len(self.int_regs) > 2 else 1
+        self._pool_start = self._int_cursor
+        self._fp_cursor = 0
+        self.recent: deque = deque(maxlen=16)
+        self.recent.append(self.induction)
+        self.recent_loads: deque = deque(maxlen=4)
+
+    def next_dest(self, fp: bool, track: bool = True) -> int:
+        if fp:
+            reg = self.fp_regs[self._fp_cursor % len(self.fp_regs)]
+            self._fp_cursor += 1
+        else:
+            reg = self.int_regs[self._int_cursor]
+            self._int_cursor += 1
+            if self._int_cursor >= len(self.int_regs):
+                self._int_cursor = self._pool_start
+        if track:
+            self.recent.append(reg)
+        return reg
+
+    def pick_src(self, rng: random.Random, mean_distance: float) -> int:
+        """A recently written register roughly ``mean_distance`` back."""
+        if not self.recent:
+            return self.induction
+        distance = 1 + min(int(rng.expovariate(1.0 / max(mean_distance, 1.0))),
+                           len(self.recent) - 1)
+        return self.recent[-distance]
+
+
+class SyntheticProgram:
+    """Compiled synthetic program for one benchmark profile."""
+
+    def __init__(self, profile: BenchmarkProfile, seed: int = 0) -> None:
+        self.profile = profile
+        self.seed = seed
+        self._build_rng = random.Random((fnv1a(profile.name) ^ seed)
+                                        & 0xFFFFFFFF)
+        self.kernels: List[_Kernel] = [
+            self._build_kernel(k) for k in range(profile.num_kernels)
+        ]
+
+    # -- kernel construction -------------------------------------------
+
+    def _build_kernel(self, kernel_index: int) -> _Kernel:
+        profile = self.profile
+        rng = self._build_rng
+        base_pc = _CODE_BASE + kernel_index * _KERNEL_PC_SPAN
+
+        strands = self._make_strands(profile.unroll)
+        body_slots = profile.kernel_size
+        n_loads = max(1, round(body_slots * profile.load_frac))
+        n_stores = max(1, round(body_slots * profile.store_frac))
+        n_branches = max(1, round(body_slots * profile.branch_frac))
+        n_compute = max(1, body_slots - n_loads - n_stores - n_branches)
+
+        kinds, pairing = self._compose_body(rng, n_loads, n_stores,
+                                            n_branches, n_compute)
+        load_positions = [i for i, kind in enumerate(kinds) if kind == "load"]
+        mirrors = self._plan_mirrors(rng, load_positions, pairing)
+        cold_positions = self._plan_cold(load_positions, pairing, mirrors)
+
+        # Forwarding-group streams: one shared stack factory per group;
+        # the store leads every consumer by (forward_lag + member) steps.
+        group_streams = self._make_group_streams(kernel_index, pairing)
+
+        # Stream factories for plain loads, shared with their mirrors.
+        load_factories: Dict[int, Callable[[], AddressStream]] = {}
+
+        slots: List[_Slot] = []
+        pc_cursor = itertools.count()
+        strand_cycle = itertools.cycle(strands)
+        chase_budget = profile.chase_loads
+
+        # Induction updates come first so address registers are ready
+        # early each iteration.
+        for strand in strands:
+            pc = base_pc + next(pc_cursor) * 4
+            slots.append(_Slot(pc=pc, op=OpClass.INT_ALU, dest=strand.induction,
+                               srcs=(strand.induction,)))
+
+        position_to_slot: Dict[int, int] = {}
+        for position, kind in enumerate(kinds):
+            strand = next(strand_cycle)
+            if kind == "load" and self._wants_membar(position, mirrors):
+                # Software load-load ordering (Section 2.2): a barrier
+                # guards the load that follows.
+                membar_pc = base_pc + next(pc_cursor) * 4
+                slots.append(_Slot(pc=membar_pc, op=OpClass.MEMBAR))
+            pc = base_pc + next(pc_cursor) * 4
+            position_to_slot[position] = len(slots)
+            if kind == "compute":
+                slots.append(self._compute_slot(rng, pc, strand))
+            elif kind in ("branch", "backedge"):
+                slots.append(self._branch_slot(rng, pc, strand, base_pc,
+                                               backedge=(kind == "backedge")))
+            elif kind == "store":
+                slots.append(self._store_slot(rng, pc, strand, position,
+                                              pairing, group_streams,
+                                              kernel_index))
+            else:  # load
+                if chase_budget > 0:
+                    chase_budget -= 1
+                    slots.append(self._chase_slot(pc, strand))
+                else:
+                    slots.append(self._load_slot(
+                        rng, pc, strand, position, pairing, mirrors,
+                        group_streams, load_factories, kernel_index,
+                        cold=position in cold_positions))
+
+        self._collide_group_pcs(slots, pairing, position_to_slot)
+        return _Kernel(slots, base_pc)
+
+    def _wants_membar(self, position: int, mirrors: dict) -> bool:
+        policy = self.profile.membar_policy
+        if policy == "conservative":
+            return True
+        if policy == "targeted":
+            return position in mirrors   # the reload side of the pair
+        return False
+
+    def _make_strands(self, unroll: int) -> List[_Strand]:
+        strands = []
+        int_per = max(4, 30 // max(unroll, 1))
+        fp_per = max(4, 30 // max(unroll, 1))
+        for s in range(unroll):
+            int_base = 1 + s * int_per
+            fp_base = FP_REG_BASE + 1 + s * fp_per
+            strands.append(_Strand(
+                range(int_base, min(int_base + int_per, 31)),
+                range(fp_base, min(fp_base + fp_per, 63)),
+            ))
+        return strands
+
+    # -- pairing plans ---------------------------------------------------
+
+    def _compose_body(self, rng: random.Random, n_loads: int, n_stores: int,
+                      n_branches: int, n_compute: int):
+        """Lay out the body's slot kinds and the forwarding clusters.
+
+        Forwarding pairs are emitted as *contiguous clusters* — a store
+        immediately followed by its ``pair_group_size`` member loads —
+        because store-to-load forwarding in real code happens at
+        spill/reload distances of a few instructions; a pair spread tens
+        of instructions apart is already committed by the time the load
+        issues.  ``pair_frac`` sets the number of clusters relative to
+        the load count: each cluster yields one matching load per
+        iteration (members match in rotation).
+
+        Returns ``(kinds, pairing)`` where ``pairing`` maps final body
+        positions to pairing roles.
+        """
+        profile = self.profile
+        group_size = max(1, profile.pair_group_size)
+        n_groups = max(0, round(n_loads * profile.pair_frac))
+        n_groups = min(n_groups, n_stores, max(n_loads // group_size, 1))
+
+        loose = (["load"] * (n_loads - n_groups * group_size)
+                 + ["store"] * (n_stores - n_groups)
+                 + ["branch"] * (n_branches - 1)
+                 + ["compute"] * n_compute)
+        rng.shuffle(loose)
+
+        kinds: List[str] = list(loose)
+        pairing: dict = {}
+        # Insert clusters at descending loose positions so later
+        # insertions can never split an earlier cluster.
+        insertion_points = sorted((rng.randrange(len(loose) + 1)
+                                   for _ in range(n_groups)), reverse=True)
+        cluster = ["pstore"] + ["pload"] * group_size
+        for at in insertion_points:
+            kinds[at:at] = cluster
+        # Resolve final positions: walk the list assigning group ids in
+        # order (clusters cannot interleave, so a simple scan works).
+        group_id = -1
+        member = 0
+        final_kinds: List[str] = []
+        for position, kind in enumerate(kinds):
+            if kind == "pstore":
+                group_id += 1
+                member = 0
+                pairing[position] = ("store", group_id)
+                final_kinds.append("store")
+            elif kind == "pload":
+                pairing[position] = ("load", group_id, member)
+                member += 1
+                final_kinds.append("load")
+            else:
+                final_kinds.append(kind)
+        final_kinds.append("backedge")
+        return final_kinds, pairing
+
+    def _plan_mirrors(self, rng: random.Random, load_positions: List[int],
+                      pairing: dict) -> dict:
+        """Choose load slots that duplicate another load slot's stream."""
+        profile = self.profile
+        candidates = [p for p in load_positions if p not in pairing]
+        n_mirrors = round(len(load_positions) * profile.same_addr_load_frac)
+        if len(candidates) < 2 * n_mirrors or n_mirrors == 0:
+            return {}
+        chosen = rng.sample(candidates, 2 * n_mirrors)
+        # mirror position -> source position; the source must be built
+        # first, so make the smaller position the source.
+        mirrors = {}
+        for i in range(n_mirrors):
+            a, b = chosen[2 * i], chosen[2 * i + 1]
+            source, mirror = (a, b) if a < b else (b, a)
+            mirrors[mirror] = source
+        return mirrors
+
+    def _plan_cold(self, load_positions, pairing, mirrors) -> set:
+        """Deterministically choose which load slots are cold.
+
+        ``round(n_loads * cold_frac)`` slots (at least one when the
+        fraction is non-zero), spread evenly over the unpaired,
+        unmirrored loads — per-slot coin flips would make low fractions
+        a lottery across kernels.
+        """
+        profile = self.profile
+        if profile.cold_frac <= 0.0:
+            return set()
+        candidates = [p for p in load_positions
+                      if p not in pairing and p not in mirrors
+                      and mirrors.get(p) is None]
+        if not candidates:
+            return set()
+        count = max(1, round(len(load_positions) * profile.cold_frac))
+        count = min(count, len(candidates))
+        step = len(candidates) / count
+        return {candidates[int(i * step)] for i in range(count)}
+
+    def _make_group_streams(self, kernel_index: int, pairing: dict) -> dict:
+        """Build producer and per-member consumer streams for each group.
+
+        The producer (store) leads every consumer by ``forward_lag``
+        iterations; with the default lag of 0 and the store placed
+        earlier in the body, a member load reads the very address its
+        store wrote moments earlier in the same iteration.
+        """
+        profile = self.profile
+        group_ids = sorted({role[1] for role in pairing.values()
+                            if role[0] == "store"})
+        streams: dict = {}
+        for group_id in group_ids:
+            seed = (fnv1a(f"{profile.name}/grp{kernel_index}/{group_id}")
+                    ^ self.seed) & 0x7FFFFFFF
+            base = _STACK_BASE + (kernel_index * 64 + group_id) * 0x1000
+            factory = (lambda b=base, s=seed:
+                       StackStream(b, slots=16, align=8, seed=s))
+            members = max((role[2] for role in pairing.values()
+                           if role[0] == "load" and role[1] == group_id),
+                          default=-1) + 1
+            producer = factory()
+            for _ in range(profile.forward_lag):
+                producer.next_address()
+            consumers = [factory() for _ in range(members)]
+            streams[group_id] = (producer, consumers)
+        return streams
+
+    # -- slot builders ---------------------------------------------------
+
+    def _compute_slot(self, rng: random.Random, pc: int,
+                      strand: _Strand) -> _Slot:
+        profile = self.profile
+        fp = rng.random() < profile.fp_frac
+        if fp:
+            op = OpClass.FP_MUL if rng.random() < 0.3 else OpClass.FP_ALU
+        else:
+            op = OpClass.INT_MUL if rng.random() < 0.1 else OpClass.INT_ALU
+        srcs = (strand.pick_src(rng, profile.dep_distance),
+                strand.pick_src(rng, profile.dep_distance))
+        return _Slot(pc=pc, op=op, dest=strand.next_dest(fp), srcs=srcs)
+
+    def _branch_slot(self, rng: random.Random, pc: int, strand: _Strand,
+                     base_pc: int, backedge: bool) -> _Slot:
+        profile = self.profile
+        if backedge:
+            # Outcome supplied by the emitter: taken until the phase ends.
+            return _Slot(pc=pc, op=OpClass.BRANCH,
+                         srcs=(strand.induction,), target=base_pc,
+                         is_backedge=True)
+        # Deterministic noise assignment: every k-th branch slot is
+        # hard to predict, where k realises ``branch_noise`` exactly
+        # (per-slot coin flips make low fractions a lottery).
+        self._branch_counter = getattr(self, "_branch_counter", 0) + 1
+        period = round(1.0 / profile.branch_noise) if profile.branch_noise \
+            else 0
+        if period and self._branch_counter % period == 0:
+            outcome = lambda r: r.random() < 0.5  # noqa: E731
+        else:
+            outcome = lambda r: r.random() < 0.97  # noqa: E731
+        return _Slot(pc=pc, op=OpClass.BRANCH,
+                     srcs=(strand.pick_src(rng, profile.dep_distance),),
+                     target=pc + 64, outcome=outcome)
+
+    def _store_slot(self, rng: random.Random, pc: int, strand: _Strand,
+                    position: int, pairing: dict, group_streams: dict,
+                    kernel_index: int) -> _Slot:
+        profile = self.profile
+        role = pairing.get(position)
+        if role is not None:
+            stream = group_streams[role[1]][0]
+        else:
+            stream = self._plain_store_stream(position, kernel_index)
+        op = OpClass.FP_STORE if rng.random() < profile.fp_frac else OpClass.STORE
+        if role is not None:
+            # Spills write early-ready values: a data operand drawn from
+            # the live dataflow would make the reload (which waits on
+            # this store under store-set synchronisation) a loop-carried
+            # recurrence that no real spill/reload pair has.
+            addr_src = strand.induction
+            data_src = strand.induction
+        else:
+            addr_src = self._addr_src(rng, strand)
+            data_src = strand.pick_src(rng, profile.dep_distance)
+        return _Slot(pc=pc, op=op, srcs=(addr_src, data_src), stream=stream)
+
+    def _load_slot(self, rng: random.Random, pc: int, strand: _Strand,
+                   position: int, pairing: dict, mirrors: dict,
+                   group_streams: dict,
+                   load_factories: Dict[int, Callable[[], AddressStream]],
+                   kernel_index: int, cold: bool = False) -> _Slot:
+        profile = self.profile
+        role = pairing.get(position)
+        noise_prob = 0.0
+        match_member, match_modulo = 0, 1
+        if role is not None:
+            __, group_id, member = role
+            stream = group_streams[group_id][1][member]
+            noise_prob = profile.pair_noise
+            group_members = len(group_streams[group_id][1])
+            match_member, match_modulo = member, max(group_members, 1)
+        else:
+            source = mirrors.get(position)
+            if source is not None and source in load_factories:
+                # Mirrors instantiate the *same factory*: identical
+                # deterministic sequences => same address each iteration.
+                stream = load_factories[source]()
+            else:
+                factory = self._plain_load_factory(position, kernel_index,
+                                                   cold=cold)
+                load_factories[position] = factory
+                stream = factory()
+        op = OpClass.FP_LOAD if rng.random() < profile.fp_frac else OpClass.LOAD
+        cold = isinstance(stream, RandomStream)
+        if role is not None:
+            # Reloads use a base-register address (ready early), like the
+            # spill/reload traffic they model.
+            addr_src = strand.induction
+        elif cold and profile.cold_on_chain:
+            # Cold accesses hang off the pointer chase (fields of the
+            # node just reached): they issue after the chase step and
+            # therefore in program order (mcf's near-zero Table 4 row).
+            addr_src = strand.chain_reg
+        else:
+            addr_src = self._addr_src(rng, strand)
+        # Cold-miss results stay out of the dataflow pools: address
+        # computations chaining on a 150-cycle miss would freeze the
+        # oldest-non-issued-load pointer for the whole miss, which real
+        # indexed addressing (chains on cache-resident data) does not do.
+        dest = strand.next_dest(op is OpClass.FP_LOAD, track=not cold)
+        if not cold:
+            strand.recent_loads.append(dest)
+        return _Slot(pc=pc, op=op, dest=dest,
+                     srcs=(addr_src,), stream=stream, noise_prob=noise_prob,
+                     match_member=match_member, match_modulo=match_modulo,
+                     advance_period=profile.cold_period if cold else 1)
+
+    def _chase_slot(self, pc: int, strand: _Strand) -> _Slot:
+        """A pointer-chasing load.
+
+        Reads and writes the strand's dedicated chain register, so every
+        chase load on a strand forms one serial dependence chain across
+        iterations — no memory-level parallelism, as in linked-structure
+        walks (mcf, art).
+        """
+        profile = self.profile
+        seed = (fnv1a(f"{profile.name}/chase/{pc}") ^ self.seed) & 0x7FFFFFFF
+        footprint = profile.chase_footprint or profile.l2_footprint
+        stream = PointerChaseStream(_COLD_BASE, footprint,
+                                    align=64, seed=seed)
+        return _Slot(pc=pc, op=OpClass.LOAD, dest=strand.chain_reg,
+                     srcs=(strand.chain_reg,), stream=stream,
+                     advance_period=profile.chase_period)
+
+    # -- stream helpers ----------------------------------------------------
+
+    def _plain_store_stream(self, position: int,
+                            kernel_index: int) -> AddressStream:
+        base = _HOT_STORE_BASE + (kernel_index * 256 + position) * 0x800
+        footprint = max(64, self.profile.l1_footprint // 16)
+        return StridedStream(base, stride=8, footprint=footprint)
+
+    def _plain_load_factory(self, position: int, kernel_index: int,
+                            cold: bool = False
+                            ) -> Callable[[], AddressStream]:
+        profile = self.profile
+        if cold:
+            seed = (fnv1a(f"{profile.name}/cold/{kernel_index}/{position}")
+                    ^ self.seed) & 0x7FFFFFFF
+            return (lambda s=seed:
+                    RandomStream(_COLD_BASE, profile.l2_footprint,
+                                 align=64, seed=s))
+        # The per-position offset keeps two slots' sequences from being
+        # identical (accidental same-address load pairs); overlapping
+        # *regions* are fine and provide shared locality.
+        base = (_HOT_LOAD_BASE + (position % 7) * (profile.l1_footprint // 8)
+                + position * 264)
+        stride = 8 * (1 + position % 3)
+        footprint = max(stride, profile.l1_footprint // 4)
+        return lambda b=base, st=stride, f=footprint: StridedStream(b, st, f)
+
+    def _addr_src(self, rng: random.Random, strand: _Strand) -> int:
+        profile = self.profile
+        if rng.random() < profile.computed_addr_frac:
+            # Chain-fed addresses deliberately read *late* values — by
+            # preference a recent load's destination (indexed/indirect
+            # addressing) — so these loads become ready late while their
+            # younger neighbours issue past them (Table 4).
+            if profile.cold_on_chain and profile.chase_loads > 0:
+                # Everything hangs off the structure walk (mcf-style):
+                # loads become ready together and issue in order.
+                return strand.chain_reg
+            if strand.recent_loads and rng.random() < 0.7:
+                return strand.recent_loads[-1 - rng.randrange(
+                    len(strand.recent_loads))]
+            return strand.pick_src(rng, 2.0)
+        return strand.induction
+
+    def _collide_group_pcs(self, slots: List[_Slot], pairing: dict,
+                           position_to_slot: Dict[int, int]) -> None:
+        """Re-home pair-group loads so group members share an SSIT index."""
+        leaders: Dict[int, int] = {}
+        for position, role in sorted(pairing.items()):
+            if role[0] != "load":
+                continue
+            group_id, member = role[1], role[2]
+            slot = slots[position_to_slot[position]]
+            if group_id not in leaders:
+                leaders[group_id] = slot.pc
+            else:
+                slot.pc = colliding_pc(leaders[group_id], member,
+                                       salt=group_id)
+
+    # -- dynamic emission ----------------------------------------------
+
+    def emit(self, n_instructions: int) -> Trace:
+        """Unroll the kernels into a dynamic trace of ``n`` instructions."""
+        profile = self.profile
+        rng = random.Random((fnv1a(profile.name + "/emit") ^ self.seed)
+                            & 0xFFFFFFFF)
+        out: List[Instruction] = []
+        kernel_cycle = itertools.cycle(self.kernels)
+        global_iteration = 0
+        while len(out) < n_instructions:
+            kernel = next(kernel_cycle)
+            for iteration in range(profile.loop_trip):
+                last_phase_iteration = iteration == profile.loop_trip - 1
+                for slot in kernel.slots:
+                    out.append(self._emit_slot(rng, slot, global_iteration,
+                                               last_phase_iteration))
+                global_iteration += 1
+                if len(out) >= n_instructions:
+                    break
+        return Trace(out[:n_instructions], name=profile.name,
+                     cold_regions=[(_COLD_BASE, _STACK_BASE)])
+
+    def _emit_slot(self, rng: random.Random, slot: _Slot, iteration: int,
+                   last_phase_iteration: bool) -> Instruction:
+        if slot.op.is_memory:
+            if slot.advance_period > 1:
+                if slot.last_addr < 0 or iteration % slot.advance_period == 0:
+                    slot.last_addr = slot.stream.next_address()
+                addr = slot.last_addr
+            else:
+                addr = slot.stream.next_address()
+            off_rotation = (slot.match_modulo > 1 and
+                            iteration % slot.match_modulo != slot.match_member)
+            if off_rotation or (slot.noise_prob
+                                and rng.random() < slot.noise_prob):
+                addr = _NOISE_BASE + ((addr ^ (slot.pc << 4)) & 0xFFFF)
+            return Instruction(pc=slot.pc, op=slot.op, dest=slot.dest,
+                               srcs=slot.srcs, addr=addr, size=8)
+        if slot.op.is_branch:
+            if slot.is_backedge:
+                taken = not last_phase_iteration
+            else:
+                taken = slot.outcome(rng)
+            return Instruction(pc=slot.pc, op=slot.op, srcs=slot.srcs,
+                               taken=taken, target=slot.target)
+        return Instruction(pc=slot.pc, op=slot.op, dest=slot.dest,
+                           srcs=slot.srcs)
+
+
+def generate_trace(benchmark, n_instructions: int = 20_000,
+                   seed: int = 0) -> Trace:
+    """Generate a synthetic trace for a benchmark name or profile."""
+    profile = (benchmark if isinstance(benchmark, BenchmarkProfile)
+               else profile_for(benchmark))
+    return SyntheticProgram(profile, seed=seed).emit(n_instructions)

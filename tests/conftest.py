@@ -1,0 +1,48 @@
+"""Shared fixtures and trace-building helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import LsqConfig, MachineConfig, base_machine
+from repro.workload.isa import Instruction, OpClass
+from repro.workload.trace import Trace
+
+
+def alu(pc=0x1000, dest=1, srcs=()):
+    return Instruction(pc=pc, op=OpClass.INT_ALU, dest=dest, srcs=tuple(srcs))
+
+
+def load(addr, pc=0x2000, dest=2, srcs=(), size=8):
+    return Instruction(pc=pc, op=OpClass.LOAD, dest=dest, srcs=tuple(srcs),
+                       addr=addr, size=size)
+
+
+def store(addr, pc=0x3000, srcs=(), size=8):
+    return Instruction(pc=pc, op=OpClass.STORE, srcs=tuple(srcs),
+                       addr=addr, size=size)
+
+
+def branch(pc=0x4000, taken=True, target=0x1000, srcs=()):
+    return Instruction(pc=pc, op=OpClass.BRANCH, srcs=tuple(srcs),
+                       taken=taken, target=target)
+
+
+def make_trace(instructions, name="test"):
+    return Trace(instructions, name=name)
+
+
+def filler(n, base_pc=0x8000):
+    """n independent single-cycle ALU ops."""
+    return [alu(pc=base_pc + 4 * i, dest=(i % 8) + 1) for i in range(n)]
+
+
+@pytest.fixture
+def machine() -> MachineConfig:
+    return base_machine()
+
+
+@pytest.fixture
+def small_machine() -> MachineConfig:
+    """A small machine so queue-capacity effects trigger quickly."""
+    return base_machine(lq_entries=8, sq_entries=8)

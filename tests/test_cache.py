@@ -1,0 +1,114 @@
+"""Unit tests for the set-associative cache model."""
+
+import pytest
+
+from repro.config import CacheConfig
+from repro.memory.cache import Cache
+
+
+def small_cache(assoc=2, sets=4, block=32):
+    return Cache(CacheConfig(size_bytes=assoc * sets * block,
+                             associativity=assoc, block_bytes=block,
+                             hit_latency=2), name="test")
+
+
+class TestLookupFill:
+    def test_miss_then_hit(self):
+        cache = small_cache()
+        assert not cache.lookup(0x100)
+        cache.fill(0x100)
+        assert cache.lookup(0x100)
+
+    def test_same_block_hits(self):
+        cache = small_cache(block=32)
+        cache.fill(0x100)
+        assert cache.lookup(0x100 + 31)
+        assert not cache.lookup(0x100 + 32)
+
+    def test_stats(self):
+        cache = small_cache()
+        cache.lookup(0)           # miss
+        cache.fill(0)
+        cache.lookup(0)           # hit
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.accesses == 2
+        assert cache.stats.miss_rate == pytest.approx(0.5)
+
+    def test_contains_does_not_touch_stats(self):
+        cache = small_cache()
+        cache.fill(0x40)
+        hits, misses = cache.stats.hits, cache.stats.misses
+        assert cache.contains(0x40)
+        assert not cache.contains(0x80000)
+        assert (cache.stats.hits, cache.stats.misses) == (hits, misses)
+
+
+class TestLru:
+    def test_eviction_order(self):
+        cache = small_cache(assoc=2, sets=1, block=32)
+        cache.fill(0 * 32)
+        cache.fill(1 * 32)
+        cache.lookup(0)            # touch block 0: block 1 is now LRU
+        cache.fill(2 * 32)         # evicts block 1
+        assert cache.contains(0)
+        assert not cache.contains(32)
+        assert cache.contains(64)
+
+    def test_associativity_bound(self):
+        cache = small_cache(assoc=4, sets=1, block=32)
+        for i in range(4):
+            cache.fill(i * 32)
+        assert all(cache.contains(i * 32) for i in range(4))
+        cache.fill(4 * 32)
+        assert not cache.contains(0)
+
+    def test_sets_are_independent(self):
+        cache = small_cache(assoc=1, sets=4, block=32)
+        for s in range(4):
+            cache.fill(s * 32)
+        assert all(cache.contains(s * 32) for s in range(4))
+
+
+class TestWriteback:
+    def test_clean_eviction_returns_none(self):
+        cache = small_cache(assoc=1, sets=1, block=32)
+        cache.fill(0, dirty=False)
+        assert cache.fill(1024) is None
+        assert cache.stats.writebacks == 0
+
+    def test_dirty_eviction_returns_victim(self):
+        cache = small_cache(assoc=1, sets=1, block=32)
+        cache.fill(0, dirty=True)
+        victim = cache.fill(1024)
+        assert victim == 0
+        assert cache.stats.writebacks == 1
+
+    def test_write_hit_marks_dirty(self):
+        cache = small_cache(assoc=1, sets=1, block=32)
+        cache.fill(0)
+        cache.lookup(0, write=True)
+        assert cache.fill(1024) == 0  # dirty writeback
+
+    def test_victim_address_reconstruction(self):
+        cache = small_cache(assoc=1, sets=4, block=32)
+        addr = 7 * 4 * 32 + 2 * 32   # tag 7, set 2
+        cache.fill(addr, dirty=True)
+        victim = cache.fill(addr + 4 * 32 * 16)  # same set, new tag
+        assert victim == addr - addr % 32
+
+    def test_refill_existing_block_keeps_dirty(self):
+        cache = small_cache(assoc=2, sets=1, block=32)
+        cache.fill(0, dirty=True)
+        assert cache.fill(0, dirty=False) is None
+        assert cache.fill(32) is None
+        victim = cache.fill(64)  # evicts block 0, still dirty
+        assert victim == 0
+
+
+class TestInvalidate:
+    def test_invalidate_all(self):
+        cache = small_cache()
+        cache.fill(0)
+        cache.invalidate_all()
+        assert not cache.contains(0)

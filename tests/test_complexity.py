@@ -1,0 +1,99 @@
+"""Tests for the design-complexity model."""
+
+import pytest
+
+from repro.config import LoadQueueSearchMode, LsqConfig, PredictorMode, \
+    conventional_lsq, full_techniques_lsq, segmented_lsq, techniques_lsq
+from repro.core.complexity import (
+    pareto_row,
+    search_energy,
+    static_complexity,
+)
+from repro.stats.counters import SimStats
+
+
+class TestStaticComplexity:
+    def test_baseline_is_unity(self):
+        report = static_complexity(conventional_lsq(ports=2))
+        assert report.area == pytest.approx(1.0)
+        assert report.cycle_time == pytest.approx(1.0)
+        assert report.entries_per_search == 32
+        assert report.ports == 2
+
+    def test_fewer_ports_cost_less(self):
+        one = static_complexity(conventional_lsq(ports=1))
+        four = static_complexity(conventional_lsq(ports=4))
+        assert one.area < 1.0 < four.area
+        assert one.cycle_time < 1.0 < four.cycle_time
+
+    def test_big_flat_cam_is_expensive(self):
+        big = static_complexity(conventional_lsq(ports=2, lq_entries=128,
+                                                 sq_entries=128))
+        assert big.area == pytest.approx(4.0)
+        assert big.cycle_time > 1.0   # 128-entry match line
+
+    def test_segmentation_grows_capacity_not_cycle_time(self):
+        seg = static_complexity(segmented_lsq(ports=2))
+        # 224 total entries but only a 28-entry CAM per search.
+        assert seg.area > 3.0
+        assert seg.cycle_time < 1.0
+        assert seg.entries_per_search == 28
+
+    def test_one_port_techniques_simplest(self):
+        tech = static_complexity(techniques_lsq(ports=1))
+        conv = static_complexity(conventional_lsq(ports=2))
+        assert tech.area < conv.area
+        assert tech.cycle_time < conv.cycle_time
+
+    def test_load_buffer_area_counted(self):
+        with_buf = static_complexity(techniques_lsq(ports=1,
+                                                    load_buffer_entries=4))
+        without = static_complexity(
+            LsqConfig(search_ports=1, predictor=PredictorMode.PAIR))
+        assert with_buf.area > without.area
+
+    def test_format(self):
+        assert "area" in static_complexity(conventional_lsq()).format()
+
+
+class TestSearchEnergy:
+    def test_energy_scales_with_searches(self):
+        few = SimStats(sq_searches=10, lq_searches=10)
+        many = SimStats(sq_searches=100, lq_searches=100)
+        lsq = conventional_lsq()
+        assert search_energy(many, lsq) > search_energy(few, lsq)
+
+    def test_segmented_counts_visits(self):
+        stats = SimStats(sq_searches=10, sq_segment_visits=25,
+                         lq_searches=0, lq_segment_visits=0)
+        seg = segmented_lsq()
+        flat = conventional_lsq()
+        # Segmented pays per visited 28-entry segment; flat pays per
+        # 32-entry full search.
+        assert search_energy(stats, seg) == pytest.approx(25 * 28)
+        assert search_energy(stats, flat) == pytest.approx(10 * 32)
+
+    def test_load_buffer_energy_is_small(self):
+        stats = SimStats(load_buffer_searches=1000)
+        lsq = techniques_lsq(ports=1, load_buffer_entries=2)
+        assert search_energy(stats, lsq) < 1000 * 32
+
+    def test_predictor_tables_counted(self):
+        stats = SimStats(loads_predicted_dependent=100)
+        pair = LsqConfig(predictor=PredictorMode.PAIR)
+        conv = conventional_lsq()
+        assert search_energy(stats, pair) > search_energy(stats, conv)
+
+
+class TestParetoRow:
+    def test_row_fields(self):
+        base = SimStats(cycles=100, committed=200, sq_searches=50,
+                        lq_searches=50)
+        fast = SimStats(cycles=90, committed=200, sq_searches=5,
+                        lq_searches=10)
+        row = pareto_row("test", fast, techniques_lsq(ports=1),
+                         base, conventional_lsq(ports=2))
+        assert row["design"] == "test"
+        assert row["speedup"].startswith("+")
+        assert row["area"].endswith("x")
+        assert int(row["capacity"]) == 64

@@ -1,0 +1,94 @@
+"""Cross-feature configuration matrix.
+
+Every pairwise combination of the major features must simulate a trace
+to completion — the kind of interaction coverage that catches "pair
+predictor x segmented x membar" style regressions.
+"""
+
+import pytest
+from dataclasses import replace
+
+from repro.config import (
+    AllocationPolicy,
+    ContentionPolicy,
+    LoadQueueSearchMode,
+    LsqConfig,
+    PredictorMode,
+    base_machine,
+    scaled_machine,
+)
+from repro.pipeline.processor import simulate
+from repro.workload.synthetic import generate_trace
+
+N = 800
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace("vortex", n_instructions=N)
+
+
+PREDICTORS = [PredictorMode.CONVENTIONAL, PredictorMode.PAIR,
+              PredictorMode.AGGRESSIVE, PredictorMode.PERFECT]
+LQ_MODES = [LoadQueueSearchMode.SEARCH_LQ, LoadQueueSearchMode.LOAD_BUFFER,
+            LoadQueueSearchMode.IN_ORDER, LoadQueueSearchMode.INVALIDATION]
+
+
+@pytest.mark.parametrize("predictor", PREDICTORS)
+@pytest.mark.parametrize("lq_mode", LQ_MODES)
+def test_predictor_x_lq_mode(trace, predictor, lq_mode):
+    lsq = LsqConfig(predictor=predictor, lq_search=lq_mode,
+                    load_buffer_entries=2, search_ports=1)
+    result = simulate(trace, replace(base_machine(), lsq=lsq))
+    assert result.stats.committed == N
+
+
+@pytest.mark.parametrize("predictor", PREDICTORS)
+@pytest.mark.parametrize("allocation", list(AllocationPolicy))
+def test_predictor_x_segmentation(trace, predictor, allocation):
+    lsq = LsqConfig(predictor=predictor, segments=4, segment_entries=12,
+                    allocation=allocation,
+                    lq_search=LoadQueueSearchMode.LOAD_BUFFER,
+                    load_buffer_entries=2)
+    result = simulate(trace, replace(base_machine(), lsq=lsq))
+    assert result.stats.committed == N
+
+
+@pytest.mark.parametrize("contention", list(ContentionPolicy))
+@pytest.mark.parametrize("ports", [1, 2])
+def test_contention_x_ports(trace, contention, ports):
+    lsq = LsqConfig(segments=4, segment_entries=12, search_ports=ports,
+                    contention=contention)
+    result = simulate(trace, replace(base_machine(), lsq=lsq))
+    assert result.stats.committed == N
+
+
+@pytest.mark.parametrize("unified", [False, True])
+@pytest.mark.parametrize("mshrs", [0, 4])
+def test_unified_x_mshrs(trace, unified, mshrs):
+    machine = replace(base_machine(),
+                      lsq=LsqConfig(unified_queue=unified))
+    machine = replace(machine, memory=replace(machine.memory,
+                                              l1d_mshrs=mshrs))
+    result = simulate(trace, machine)
+    assert result.stats.committed == N
+
+
+@pytest.mark.parametrize("scaled", [False, True])
+def test_scaled_x_full_techniques(trace, scaled):
+    from repro.config import full_techniques_lsq
+    base = scaled_machine() if scaled else base_machine()
+    result = simulate(trace, replace(base, lsq=full_techniques_lsq(ports=1)))
+    assert result.stats.committed == N
+
+
+def test_membar_x_segmented():
+    profile_trace = generate_trace(
+        replace(__import__("repro.workload", fromlist=["profile_for"]
+                           ).profile_for("gzip"),
+                membar_policy="targeted", same_addr_load_frac=0.02),
+        n_instructions=N)
+    lsq = LsqConfig(lq_search=LoadQueueSearchMode.MEMBAR, segments=4,
+                    segment_entries=12)
+    result = simulate(profile_trace, replace(base_machine(), lsq=lsq))
+    assert result.stats.committed == N

@@ -1,0 +1,67 @@
+"""Smoke tests: every shipped example runs end to end on tiny inputs."""
+
+import sys
+
+import pytest
+
+
+def run_example(monkeypatch, module_name, argv):
+    monkeypatch.setattr(sys, "argv", argv)
+    sys.path.insert(0, "examples")
+    try:
+        for name in ("quickstart", "reproduce_paper", "design_explorer",
+                     "custom_workload", "complexity_report"):
+            sys.modules.pop(name, None)
+        module = __import__(module_name)
+        module.main()
+    finally:
+        sys.path.remove("examples")
+
+
+def test_quickstart(monkeypatch, capsys):
+    run_example(monkeypatch, "quickstart", ["quickstart.py", "gzip", "800"])
+    out = capsys.readouterr().out
+    assert "IPC" in out and "SQ searches" in out
+
+
+def test_reproduce_paper_lists_experiments(monkeypatch, capsys):
+    run_example(monkeypatch, "reproduce_paper", ["reproduce_paper.py"])
+    out = capsys.readouterr().out
+    assert "fig10" in out and "table2" in out
+
+
+def test_reproduce_paper_runs_one(monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_BENCH_SUBSET", "gzip,mgrid")
+    monkeypatch.setenv("REPRO_BENCH_INSTRUCTIONS", "600")
+    run_example(monkeypatch, "reproduce_paper",
+                ["reproduce_paper.py", "table4"])
+    out = capsys.readouterr().out
+    assert "Table 4" in out
+
+
+def test_reproduce_paper_unknown_experiment(monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_BENCH_SUBSET", "gzip")
+    run_example(monkeypatch, "reproduce_paper",
+                ["reproduce_paper.py", "fig99"])
+    assert "unknown experiment" in capsys.readouterr().out
+
+
+def test_design_explorer(monkeypatch, capsys):
+    run_example(monkeypatch, "design_explorer",
+                ["design_explorer.py", "gzip", "700"])
+    out = capsys.readouterr().out
+    assert "Cheapest design" in out
+
+
+def test_custom_workload(monkeypatch, capsys):
+    run_example(monkeypatch, "custom_workload",
+                ["custom_workload.py", "900"])
+    out = capsys.readouterr().out
+    assert "oltp-toy" in out and "IPC" in out
+
+
+def test_complexity_report(monkeypatch, capsys):
+    run_example(monkeypatch, "complexity_report",
+                ["complexity_report.py", "gzip", "700"])
+    out = capsys.readouterr().out
+    assert "CAM area" in out and "Dominant pressure" in out

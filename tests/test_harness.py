@@ -1,0 +1,65 @@
+"""Tests for the experiment runner and figure/table generators."""
+
+import pytest
+
+from repro.config import base_machine, conventional_lsq
+from repro.harness.experiment import ExperimentRunner
+from repro.harness import figures
+
+
+@pytest.fixture(scope="module")
+def runner():
+    # Two small benchmarks keep the figure sweeps fast.
+    return ExperimentRunner(n_instructions=1200,
+                            benchmarks=("gzip", "mgrid"))
+
+
+class TestRunner:
+    def test_trace_cached(self, runner):
+        assert runner.trace("gzip") is runner.trace("gzip")
+
+    def test_result_cached(self, runner):
+        a = runner.run("gzip", base_machine())
+        b = runner.run("gzip", base_machine())
+        assert a is b
+
+    def test_different_configs_not_conflated(self, runner):
+        a = runner.run("gzip", base_machine())
+        b = runner.run("gzip", base_machine(search_ports=1))
+        assert a is not b
+
+    def test_run_suite_covers_benchmarks(self, runner):
+        results = runner.run_suite(base_machine())
+        assert set(results) == {"gzip", "mgrid"}
+
+    def test_run_lsq_suite(self, runner):
+        results = runner.run_lsq_suite(conventional_lsq(ports=4))
+        assert all(r.config.lsq.search_ports == 4 for r in results.values())
+
+
+class TestFigures:
+    @pytest.mark.parametrize("name", list(figures.ALL_EXPERIMENTS))
+    def test_every_experiment_produces_rows(self, runner, name):
+        result = figures.ALL_EXPERIMENTS[name](runner)
+        assert result.rows
+        benches = {row[0] for row in result.rows}
+        assert {"gzip", "mgrid", "Int.Avg", "Fp.Avg"} <= benches
+        text = result.format()
+        assert result.headers[0] in text or result.name in text
+
+    def test_fig6_values_are_fractions(self, runner):
+        result = figures.fig6_sq_bandwidth(runner)
+        for row in result.rows:
+            for cell in row[1:]:
+                assert 0.0 <= float(cell) <= 1.5
+
+    def test_table6_rows_sum_to_100(self, runner):
+        result = figures.table6_segment_distribution(runner)
+        for row in result.rows:
+            total = sum(float(c) for c in row[1:])
+            assert total == pytest.approx(100.0, abs=1.0)
+
+    def test_by_benchmark_accessor(self, runner):
+        result = figures.table2_base_ipc(runner)
+        per_bench = result.by_benchmark(1)
+        assert set(per_bench) == {"gzip", "mgrid"}

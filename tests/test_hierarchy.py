@@ -1,0 +1,79 @@
+"""Unit tests for the memory hierarchy (Table 1 latencies and ports)."""
+
+import pytest
+
+from repro.config import MemoryConfig
+from repro.memory.hierarchy import MemoryHierarchy
+
+
+@pytest.fixture
+def hierarchy():
+    return MemoryHierarchy(MemoryConfig())
+
+
+class TestDataPath:
+    def test_full_miss_latency(self, hierarchy):
+        result = hierarchy.data_access(0x1000)
+        assert result.level == "MEM"
+        assert result.latency == 2 + 12 + 150
+
+    def test_l2_hit_latency(self, hierarchy):
+        hierarchy.data_access(0x1000)           # fill everything
+        hierarchy.l1d.invalidate_all()
+        result = hierarchy.data_access(0x1000)
+        assert result.level == "L2"
+        assert result.latency == 2 + 12
+
+    def test_l1_hit_latency(self, hierarchy):
+        hierarchy.data_access(0x1000)
+        result = hierarchy.data_access(0x1000)
+        assert result.level == "L1"
+        assert result.latency == 2
+        assert result.l1_hit
+
+    def test_miss_fills_all_levels(self, hierarchy):
+        hierarchy.data_access(0x2000)
+        assert hierarchy.l1d.contains(0x2000)
+        assert hierarchy.l2.contains(0x2000)
+
+    def test_dirty_l1_victim_lands_in_l2(self, hierarchy):
+        # Fill one L1 set beyond capacity with writes.
+        sets = hierarchy.l1d.config.num_sets
+        block = hierarchy.l1d.config.block_bytes
+        way_stride = sets * block
+        addrs = [i * way_stride for i in range(3)]  # 2-way set 0
+        for addr in addrs:
+            hierarchy.data_access(addr, write=True)
+        evicted = addrs[0]
+        assert not hierarchy.l1d.contains(evicted)
+        assert hierarchy.l2.contains(evicted)
+
+
+class TestInstructionPath:
+    def test_first_fetch_misses(self, hierarchy):
+        result = hierarchy.instruction_access(0x400000)
+        assert result.level == "MEM"
+
+    def test_second_fetch_hits(self, hierarchy):
+        hierarchy.instruction_access(0x400000)
+        result = hierarchy.instruction_access(0x400000)
+        assert result.level == "L1"
+        assert result.latency == 2
+
+
+class TestPorts:
+    def test_data_ports_per_cycle(self, hierarchy):
+        # Table 1: 4-ported L1-D.
+        assert all(hierarchy.try_reserve_data_port(10) for _ in range(4))
+        assert not hierarchy.try_reserve_data_port(10)
+
+    def test_ports_reset_next_cycle(self, hierarchy):
+        for _ in range(4):
+            hierarchy.try_reserve_data_port(10)
+        assert hierarchy.try_reserve_data_port(11)
+
+    def test_available_peek(self, hierarchy):
+        for _ in range(4):
+            hierarchy.try_reserve_data_port(5)
+        assert not hierarchy.d_ports.available(5)
+        assert hierarchy.d_ports.available(6)

@@ -1,0 +1,139 @@
+"""Integration tests: full synthetic benchmarks across LSQ designs.
+
+These exercise the whole stack (generator -> caches -> core -> LSQ) on
+short runs and check cross-configuration invariants rather than exact
+numbers.
+"""
+
+import pytest
+from dataclasses import replace
+
+from repro.config import (
+    AllocationPolicy,
+    LoadQueueSearchMode,
+    LsqConfig,
+    PredictorMode,
+    base_machine,
+    conventional_lsq,
+    full_techniques_lsq,
+    scaled_machine,
+    segmented_lsq,
+    techniques_lsq,
+)
+from repro.pipeline.processor import simulate
+from repro.workload.synthetic import generate_trace
+
+N = 1500
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return {name: generate_trace(name, n_instructions=N)
+            for name in ("gzip", "mgrid", "vortex", "mcf")}
+
+
+ALL_LSQS = {
+    "conv-1p": conventional_lsq(ports=1),
+    "conv-2p": conventional_lsq(ports=2),
+    "conv-4p": conventional_lsq(ports=4),
+    "pair": LsqConfig(predictor=PredictorMode.PAIR),
+    "aggressive": LsqConfig(predictor=PredictorMode.AGGRESSIVE),
+    "perfect": LsqConfig(predictor=PredictorMode.PERFECT),
+    "buffer-2": LsqConfig(lq_search=LoadQueueSearchMode.LOAD_BUFFER,
+                          load_buffer_entries=2),
+    "buffer-0": LsqConfig(lq_search=LoadQueueSearchMode.IN_ORDER),
+    "inorder-search": LsqConfig(
+        lq_search=LoadQueueSearchMode.IN_ORDER_ALWAYS_SEARCH),
+    "tech-1p": techniques_lsq(ports=1),
+    "seg-self": segmented_lsq(),
+    "seg-noself": segmented_lsq(allocation=AllocationPolicy.NO_SELF_CIRCULAR),
+    "all-1p": full_techniques_lsq(ports=1),
+}
+
+
+@pytest.mark.parametrize("lsq_name", list(ALL_LSQS))
+@pytest.mark.parametrize("bench", ["gzip", "mgrid"])
+def test_every_config_commits_whole_trace(traces, bench, lsq_name):
+    machine = replace(base_machine(), lsq=ALL_LSQS[lsq_name])
+    result = simulate(traces[bench], machine)
+    assert result.stats.committed == N
+    assert result.stats.cycles > 0
+    assert 0 < result.ipc <= machine.core.issue_width
+
+
+def test_scaled_machine_runs(traces):
+    result = simulate(traces["gzip"], scaled_machine())
+    assert result.stats.committed == N
+
+
+def test_pair_predictor_reduces_sq_searches(traces):
+    for bench in ("gzip", "mgrid"):
+        base = simulate(traces[bench], base_machine()).stats
+        pair = simulate(traces[bench], replace(
+            base_machine(), lsq=LsqConfig(predictor=PredictorMode.PAIR))).stats
+        assert pair.sq_searches < 0.6 * base.sq_searches
+
+
+def test_vortex_stays_conservative(traces):
+    # vortex's aliased pair groups keep many loads searching — the
+    # paper's Figure 6 shows it as the least-reduced benchmark.
+    base = simulate(traces["vortex"], base_machine()).stats
+    pair = simulate(traces["vortex"], replace(
+        base_machine(), lsq=LsqConfig(predictor=PredictorMode.PAIR))).stats
+    assert pair.sq_searches > 0.4 * base.sq_searches
+
+
+def test_load_buffer_reduces_lq_searches(traces):
+    for bench in ("gzip", "mgrid"):
+        base = simulate(traces[bench], base_machine()).stats
+        buf = simulate(traces[bench], replace(
+            base_machine(),
+            lsq=LsqConfig(lq_search=LoadQueueSearchMode.LOAD_BUFFER,
+                          load_buffer_entries=2))).stats
+        assert buf.lq_searches < 0.7 * base.lq_searches
+        assert buf.load_buffer_searches > 0
+
+
+def test_one_port_conventional_slower(traces):
+    for bench in ("gzip", "mgrid"):
+        two = simulate(traces[bench], base_machine()).ipc
+        one = simulate(traces[bench], replace(
+            base_machine(), lsq=conventional_lsq(ports=1))).ipc
+        assert one < two
+
+
+def test_segmentation_helps_capacity_hungry_fp(traces):
+    base = simulate(traces["mgrid"], base_machine()).ipc
+    seg = simulate(traces["mgrid"], replace(
+        base_machine(), lsq=segmented_lsq())).ipc
+    assert seg > base * 1.02
+
+
+def test_perfect_predictor_never_squashes(traces):
+    for bench in ("gzip", "vortex"):
+        result = simulate(traces[bench], replace(
+            base_machine(), lsq=LsqConfig(predictor=PredictorMode.PERFECT)))
+        assert result.stats.store_load_squashes == 0
+
+
+def test_in_order_loads_never_load_load_squash(traces):
+    result = simulate(traces["mgrid"], replace(
+        base_machine(), lsq=LsqConfig(lq_search=LoadQueueSearchMode.IN_ORDER)))
+    assert result.stats.load_load_squashes == 0
+    assert result.stats.ooo_load_cycles == 0
+
+
+def test_table6_distribution_sums_to_one(traces):
+    result = simulate(traces["mgrid"], replace(
+        base_machine(), lsq=segmented_lsq()))
+    dist = result.stats.segment_search_distribution()
+    assert dist
+    assert sum(dist.values()) == pytest.approx(1.0)
+    assert all(1 <= k <= 4 for k in dist)
+
+
+def test_occupancy_within_capacity(traces):
+    for bench, trace in traces.items():
+        stats = simulate(trace, base_machine()).stats
+        assert 0 <= stats.avg_lq_occupancy <= 32
+        assert 0 <= stats.avg_sq_occupancy <= 32

@@ -1,0 +1,101 @@
+"""Unit tests for the instruction model."""
+
+import pytest
+
+from repro.workload.isa import (
+    EXECUTION_LATENCY,
+    NO_REG,
+    Instruction,
+    OpClass,
+    make_nop,
+)
+
+
+class TestOpClass:
+    def test_load_classes(self):
+        assert OpClass.LOAD.is_load
+        assert OpClass.FP_LOAD.is_load
+        assert not OpClass.STORE.is_load
+
+    def test_store_classes(self):
+        assert OpClass.STORE.is_store
+        assert OpClass.FP_STORE.is_store
+        assert not OpClass.LOAD.is_store
+
+    def test_memory_classes(self):
+        for op in (OpClass.LOAD, OpClass.STORE, OpClass.FP_LOAD,
+                   OpClass.FP_STORE):
+            assert op.is_memory
+        for op in (OpClass.INT_ALU, OpClass.FP_ALU, OpClass.BRANCH):
+            assert not op.is_memory
+
+    def test_branch(self):
+        assert OpClass.BRANCH.is_branch
+        assert not OpClass.LOAD.is_branch
+
+    def test_fp_classes(self):
+        assert OpClass.FP_ALU.is_fp
+        assert OpClass.FP_MUL.is_fp
+        assert OpClass.FP_LOAD.is_fp
+        assert not OpClass.INT_ALU.is_fp
+
+    def test_every_class_has_latency(self):
+        for op in OpClass:
+            assert EXECUTION_LATENCY[op] >= 1
+
+
+class TestInstruction:
+    def test_memory_requires_address(self):
+        with pytest.raises(ValueError):
+            Instruction(pc=0x100, op=OpClass.LOAD, dest=1)
+
+    def test_memory_requires_positive_size(self):
+        with pytest.raises(ValueError):
+            Instruction(pc=0x100, op=OpClass.LOAD, dest=1, addr=8, size=0)
+
+    def test_non_memory_needs_no_address(self):
+        inst = Instruction(pc=0x100, op=OpClass.INT_ALU, dest=1)
+        assert inst.addr == -1
+
+    def test_properties(self):
+        ld = Instruction(pc=0x100, op=OpClass.LOAD, dest=1, addr=64)
+        assert ld.is_load and ld.is_memory and not ld.is_store
+        st = Instruction(pc=0x104, op=OpClass.STORE, addr=64)
+        assert st.is_store and st.is_memory and not st.is_load
+        br = Instruction(pc=0x108, op=OpClass.BRANCH, taken=True)
+        assert br.is_branch and not br.is_memory
+
+    def test_latency_lookup(self):
+        assert Instruction(pc=0, op=OpClass.INT_MUL, dest=1).latency == 3
+        assert Instruction(pc=0, op=OpClass.INT_ALU, dest=1).latency == 1
+
+    def test_overlap_exact(self):
+        a = Instruction(pc=0, op=OpClass.LOAD, dest=1, addr=64, size=8)
+        b = Instruction(pc=4, op=OpClass.STORE, addr=64, size=8)
+        assert a.overlaps(b) and b.overlaps(a)
+
+    def test_overlap_partial(self):
+        a = Instruction(pc=0, op=OpClass.LOAD, dest=1, addr=64, size=8)
+        b = Instruction(pc=4, op=OpClass.STORE, addr=68, size=8)
+        assert a.overlaps(b)
+
+    def test_no_overlap_adjacent(self):
+        a = Instruction(pc=0, op=OpClass.LOAD, dest=1, addr=64, size=8)
+        b = Instruction(pc=4, op=OpClass.STORE, addr=72, size=8)
+        assert not a.overlaps(b)
+
+    def test_no_overlap_non_memory(self):
+        a = Instruction(pc=0, op=OpClass.INT_ALU, dest=1)
+        b = Instruction(pc=4, op=OpClass.STORE, addr=0, size=8)
+        assert not a.overlaps(b)
+
+    def test_instructions_are_frozen(self):
+        inst = Instruction(pc=0x100, op=OpClass.INT_ALU, dest=1)
+        with pytest.raises(Exception):
+            inst.pc = 0x200
+
+    def test_make_nop(self):
+        nop = make_nop(0x500)
+        assert nop.pc == 0x500
+        assert nop.dest == NO_REG
+        assert not nop.srcs

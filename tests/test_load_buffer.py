@@ -1,0 +1,157 @@
+"""Unit tests for the load buffer and NILP tracker (Section 2.2)."""
+
+import pytest
+
+from repro.core.load_buffer import LoadBuffer, NilpTracker
+from repro.pipeline.dyninst import DynInst, InstState
+from tests.conftest import load
+
+
+def dyn_load(seq, addr=None):
+    return DynInst(seq, seq, load(addr if addr is not None else 0x100 + 8 * seq,
+                                  pc=0x1000 + 4 * seq))
+
+
+class TestLoadBuffer:
+    def test_insert_and_full(self):
+        buf = LoadBuffer(2)
+        assert not buf.full
+        buf.insert(dyn_load(1))
+        buf.insert(dyn_load(2))
+        assert buf.full
+        assert len(buf) == 2
+
+    def test_insert_into_full_raises(self):
+        buf = LoadBuffer(1)
+        buf.insert(dyn_load(1))
+        with pytest.raises(RuntimeError):
+            buf.insert(dyn_load(2))
+
+    def test_release_frees_slot(self):
+        buf = LoadBuffer(1)
+        ld = dyn_load(1)
+        buf.insert(ld)
+        buf.release(ld)
+        assert not buf.full
+        assert ld.load_buffer_slot == -1
+
+    def test_zero_entry_buffer_always_full(self):
+        buf = LoadBuffer(0)
+        assert buf.full
+
+    def test_search_finds_younger_same_address(self):
+        buf = LoadBuffer(4)
+        younger = dyn_load(10, addr=0x40)
+        buf.insert(younger)
+        older = dyn_load(5, addr=0x40)
+        assert buf.search(older) is younger
+
+    def test_search_ignores_older_entries(self):
+        buf = LoadBuffer(4)
+        buf.insert(dyn_load(3, addr=0x40))
+        probe = dyn_load(7, addr=0x40)
+        assert buf.search(probe) is None
+
+    def test_search_ignores_other_addresses(self):
+        buf = LoadBuffer(4)
+        buf.insert(dyn_load(10, addr=0x80))
+        assert buf.search(dyn_load(5, addr=0x40)) is None
+
+    def test_search_returns_oldest_violator(self):
+        buf = LoadBuffer(4)
+        mid = dyn_load(10, addr=0x40)
+        young = dyn_load(20, addr=0x40)
+        buf.insert(young)
+        buf.insert(mid)
+        assert buf.search(dyn_load(5, addr=0x40)) is mid
+
+    def test_search_skips_self(self):
+        buf = LoadBuffer(4)
+        ld = dyn_load(5, addr=0x40)
+        buf.insert(ld)
+        assert buf.search(ld) is None
+
+    def test_squash_from(self):
+        buf = LoadBuffer(4)
+        old, young = dyn_load(3), dyn_load(9)
+        buf.insert(old)
+        buf.insert(young)
+        buf.squash_from(5)
+        assert len(buf) == 1
+        assert young.load_buffer_slot == -1
+        assert old.load_buffer_slot >= 0
+
+
+class TestNilpTracker:
+    def test_nilp_is_oldest_non_issued(self):
+        tracker = NilpTracker()
+        loads = [dyn_load(i) for i in (1, 2, 3)]
+        for ld in loads:
+            tracker.on_allocate(ld)
+        assert tracker.nilp_seq() == 1
+        loads[0].mem_executed = True
+        assert tracker.nilp_seq() == 2
+
+    def test_is_in_order(self):
+        tracker = NilpTracker()
+        a, b = dyn_load(1), dyn_load(2)
+        tracker.on_allocate(a)
+        tracker.on_allocate(b)
+        assert tracker.is_in_order(a)
+        assert not tracker.is_in_order(b)
+
+    def test_empty_tracker_in_order(self):
+        tracker = NilpTracker()
+        assert tracker.is_in_order(dyn_load(5))
+
+    def test_ooo_count_lifecycle(self):
+        tracker = NilpTracker()
+        a, b = dyn_load(1), dyn_load(2)
+        tracker.on_allocate(a)
+        tracker.on_allocate(b)
+        b.mem_executed = True
+        tracker.mark_ooo_issue(b)
+        assert tracker.ooo_in_flight == 1
+        a.mem_executed = True
+        passed = tracker.advance()
+        assert passed == [b]
+        assert tracker.ooo_in_flight == 0
+
+    def test_advance_skips_in_order_loads(self):
+        tracker = NilpTracker()
+        a = dyn_load(1)
+        tracker.on_allocate(a)
+        a.mem_executed = True
+        assert tracker.advance() == []  # in-order issue: nothing to release
+
+    def test_squash_adjusts_count(self):
+        tracker = NilpTracker()
+        a, b, c = dyn_load(1), dyn_load(2), dyn_load(3)
+        for ld in (a, b, c):
+            tracker.on_allocate(ld)
+        for ld in (b, c):
+            ld.mem_executed = True
+            tracker.mark_ooo_issue(ld)
+        assert tracker.ooo_in_flight == 2
+        b.state = InstState.SQUASHED
+        c.state = InstState.SQUASHED
+        tracker.on_squash(2)
+        assert tracker.ooo_in_flight == 0
+
+    def test_squashed_front_pruned(self):
+        tracker = NilpTracker()
+        a, b = dyn_load(1), dyn_load(2)
+        tracker.on_allocate(a)
+        tracker.on_allocate(b)
+        a.state = InstState.SQUASHED
+        assert tracker.nilp_seq() == 2
+
+    def test_nilp_scans_past_issued_middle(self):
+        tracker = NilpTracker()
+        loads = [dyn_load(i) for i in (1, 2, 3)]
+        for ld in loads:
+            tracker.on_allocate(ld)
+        loads[0].mem_executed = True
+        loads[1].mem_executed = True
+        # Without advance() being called, nilp_seq still finds seq 3.
+        assert tracker.nilp_seq() == 3

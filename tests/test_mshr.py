@@ -1,0 +1,85 @@
+"""Tests for the optional MSHR model on the L1-D miss path."""
+
+import pytest
+from dataclasses import replace
+
+from repro.config import MemoryConfig, base_machine
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.pipeline.processor import simulate
+from repro.workload.synthetic import generate_trace
+
+
+def hierarchy(mshrs):
+    return MemoryHierarchy(replace(MemoryConfig(), l1d_mshrs=mshrs))
+
+
+class TestMshrSemantics:
+    def test_default_unlimited(self):
+        h = hierarchy(0)
+        results = [h.data_access(0x1000_0000 + 64 * i, cycle=0)
+                   for i in range(10)]
+        assert all(r.latency == 164 for r in results)
+        assert h.mshr_queue_delays == 0
+
+    def test_merge_onto_in_flight_block(self):
+        h = hierarchy(4)
+        first = h.data_access(0x1000, cycle=0)
+        assert first.latency == 164
+        # Same block, 10 cycles later: remaining time, not a new miss.
+        again = h.data_access(0x1008, cycle=10)
+        assert again.latency == 164 - 10
+        assert h.mshr_merges == 1
+
+    def test_merge_floor_is_hit_latency(self):
+        h = hierarchy(4)
+        h.data_access(0x1000, cycle=0)
+        late = h.data_access(0x1008, cycle=163)
+        assert late.latency == MemoryConfig().l1d.hit_latency
+
+    def test_queue_when_all_mshrs_busy(self):
+        h = hierarchy(2)
+        h.data_access(0x10000, cycle=0)          # ready at 164
+        h.data_access(0x20000, cycle=0)          # ready at 164
+        third = h.data_access(0x30000, cycle=0)  # must wait for a slot
+        assert third.latency == 164 + 164
+        assert h.mshr_queue_delays == 1
+
+    def test_slots_free_over_time(self):
+        h = hierarchy(2)
+        h.data_access(0x10000, cycle=0)
+        h.data_access(0x20000, cycle=0)
+        later = h.data_access(0x30000, cycle=200)   # both freed at 164
+        assert later.latency == 164
+
+    def test_completed_block_misses_again_only_if_evicted(self):
+        h = hierarchy(2)
+        h.data_access(0x10000, cycle=0)
+        # After completion the block is cached: a re-access hits L1.
+        hit = h.data_access(0x10000, cycle=500)
+        assert hit.level == "L1"
+
+    def test_no_cycle_bypasses_model(self):
+        h = hierarchy(1)
+        a = h.data_access(0x10000)
+        b = h.data_access(0x20000)
+        assert a.latency == b.latency == 164
+
+
+class TestMshrEndToEnd:
+    def test_limited_mshrs_slow_miss_heavy_code(self):
+        trace = generate_trace("swim", n_instructions=2000)
+        free = simulate(trace, base_machine()).ipc
+        machine = base_machine()
+        machine = replace(machine, memory=replace(machine.memory,
+                                                  l1d_mshrs=1))
+        limited = simulate(trace, machine).ipc
+        assert limited <= free
+
+    def test_generous_mshrs_match_unlimited(self):
+        trace = generate_trace("gzip", n_instructions=2000)
+        free = simulate(trace, base_machine()).stats
+        machine = base_machine()
+        machine = replace(machine, memory=replace(machine.memory,
+                                                  l1d_mshrs=64))
+        wide = simulate(trace, machine).stats
+        assert abs(wide.ipc - free.ipc) / free.ipc < 0.05

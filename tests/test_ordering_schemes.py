@@ -1,0 +1,116 @@
+"""Tests for the Section 2.2 alternative ordering schemes: memory
+barriers and invalidation-driven detection."""
+
+import pytest
+from dataclasses import replace
+
+from repro.config import LoadQueueSearchMode, LsqConfig, base_machine
+from repro.pipeline.processor import simulate
+from repro.workload import generate_trace, profile_for
+from repro.workload.isa import Instruction, OpClass
+from repro.workload.trace import Trace
+from tests.conftest import alu, filler, load, store
+
+
+def membar(pc=0x7000):
+    return Instruction(pc=pc, op=OpClass.MEMBAR)
+
+
+class TestMembarSemantics:
+    def test_membar_waits_for_older_load_data(self):
+        # miss-load ; membar ; 200 independent ALUs.  The barrier holds
+        # its own completion (and commit order) until the miss returns.
+        insts = ([load(0x40000000, pc=0x100, dest=1), membar(0x104)]
+                 + filler(200))
+        trace = Trace(insts, cold_regions=[(0x40000000, 0x50000000)])
+        with_bar = simulate(trace, base_machine(
+            lq_search=LoadQueueSearchMode.MEMBAR))
+        no_bar = simulate(Trace([insts[0]] + filler(201),
+                                cold_regions=[(0x40000000, 0x50000000)]),
+                          base_machine())
+        assert with_bar.stats.membar_stalls > 0
+        assert with_bar.stats.committed == len(insts)
+
+    def test_membar_blocks_younger_loads(self):
+        # store(miss-region) ; membar ; load: the load cannot start until
+        # the membar clears, which waits on the store's address.
+        insts = [store(0x2000, pc=0x100), membar(0x104),
+                 load(0x2008, pc=0x108, dest=1)] + filler(50)
+        result = simulate(Trace(insts), base_machine(
+            lq_search=LoadQueueSearchMode.MEMBAR))
+        assert result.stats.committed == len(insts)
+        assert result.stats.committed_membars == 1
+
+    def test_membar_mode_skips_lq_searches(self):
+        insts = []
+        for i in range(100):
+            insts.append(load(0x1000 + 8 * i, pc=0x100 + 4 * (i % 8),
+                              dest=(i % 8) + 1))
+        base = simulate(Trace(insts), base_machine()).stats
+        no_search = simulate(Trace(insts), base_machine(
+            lq_search=LoadQueueSearchMode.MEMBAR)).stats
+        assert base.lq_searches > 0
+        assert no_search.lq_searches == 0
+
+    def test_useful_ipc_excludes_membars(self):
+        insts = [membar(0x100 + 4 * i) if i % 2 else alu(pc=0x100 + 4 * i)
+                 for i in range(100)]
+        result = simulate(Trace(insts), base_machine(
+            lq_search=LoadQueueSearchMode.MEMBAR))
+        stats = result.stats
+        assert stats.committed_membars == 50
+        assert stats.useful_ipc < stats.ipc
+
+    def test_conservative_barriers_hurt(self):
+        plain = profile_for("mgrid")
+        barred = replace(plain, membar_policy="conservative")
+        plain_trace = generate_trace(plain, n_instructions=2500)
+        barred_trace = generate_trace(barred, n_instructions=2500)
+        fast = simulate(plain_trace, base_machine()).stats.useful_ipc
+        slow = simulate(barred_trace, base_machine(
+            lq_search=LoadQueueSearchMode.MEMBAR)).stats.useful_ipc
+        assert slow < 0.8 * fast
+
+
+class TestMembarGeneration:
+    def test_conservative_policy_emits_barriers(self):
+        profile = replace(profile_for("gzip"), membar_policy="conservative")
+        trace = generate_trace(profile, n_instructions=2000)
+        membars = sum(1 for inst in trace if inst.op.is_membar)
+        loads = trace.stats().loads
+        assert membars >= loads * 0.8
+
+    def test_none_policy_emits_none(self):
+        trace = generate_trace("gzip", n_instructions=1000)
+        assert not any(inst.op.is_membar for inst in trace)
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ValueError, match="membar_policy"):
+            replace(profile_for("gzip"), membar_policy="sometimes")
+
+
+class TestInvalidationScheme:
+    def test_injects_searches_at_configured_rate(self):
+        trace = generate_trace("gzip", n_instructions=4000)
+        result = simulate(trace, base_machine(
+            lq_search=LoadQueueSearchMode.INVALIDATION,
+            invalidation_rate=0.01))
+        stats = result.stats
+        assert stats.invalidation_searches > 0
+        # Invalidation searches are the *only* LQ traffic from ordering;
+        # stores' premature-load checks remain.
+        assert stats.invalidation_searches <= stats.lq_searches
+
+    def test_zero_rate_never_searches(self):
+        trace = generate_trace("gzip", n_instructions=2000)
+        result = simulate(trace, base_machine(
+            lq_search=LoadQueueSearchMode.INVALIDATION,
+            invalidation_rate=0.0))
+        assert result.stats.invalidation_searches == 0
+
+    def test_completes_whole_trace(self):
+        trace = generate_trace("mgrid", n_instructions=2000)
+        result = simulate(trace, base_machine(
+            lq_search=LoadQueueSearchMode.INVALIDATION,
+            invalidation_rate=0.05))
+        assert result.stats.committed == len(trace)

@@ -1,0 +1,124 @@
+"""Regression tests for the paper's qualitative conclusions.
+
+These pin the *shapes* EXPERIMENTS.md reports — who wins, in which
+direction, where the outliers sit — on a reduced benchmark subset so a
+future change that silently breaks a headline result fails the suite.
+"""
+
+import pytest
+from dataclasses import replace
+
+from repro.config import (
+    LoadQueueSearchMode,
+    LsqConfig,
+    PredictorMode,
+    base_machine,
+    conventional_lsq,
+    full_techniques_lsq,
+    segmented_lsq,
+    techniques_lsq,
+)
+from repro.harness.experiment import ExperimentRunner
+from repro.stats.report import geometric_mean
+
+SUBSET = ("gzip", "vortex", "mgrid", "equake")
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(n_instructions=2500, benchmarks=SUBSET)
+
+
+def geomean_speedup(runner, lsq, base):
+    results = runner.run_lsq_suite(lsq)
+    return geometric_mean([results[b].ipc / base[b].ipc
+                           for b in results]) - 1.0
+
+
+@pytest.fixture(scope="module")
+def base(runner):
+    return runner.run_lsq_suite(conventional_lsq(ports=2))
+
+
+class TestHeadlines:
+    def test_one_port_conventional_loses(self, runner, base):
+        assert geomean_speedup(runner, conventional_lsq(ports=1),
+                               base) < -0.03
+
+    def test_one_port_techniques_recovers(self, runner, base):
+        one_conv = geomean_speedup(runner, conventional_lsq(ports=1), base)
+        one_tech = geomean_speedup(runner, techniques_lsq(ports=1), base)
+        assert one_tech > one_conv + 0.03
+        assert one_tech > -0.02      # at worst on par with the 2p base
+
+    def test_all_techniques_beat_base(self, runner, base):
+        assert geomean_speedup(runner, full_techniques_lsq(ports=1),
+                               base) > 0.05
+
+    def test_segmentation_gains(self, runner, base):
+        assert geomean_speedup(runner, segmented_lsq(ports=2), base) > 0.03
+
+
+class TestBandwidthClaims:
+    def test_pair_predictor_cuts_sq_demand_heavily(self, runner, base):
+        pair = runner.run_lsq_suite(LsqConfig(predictor=PredictorMode.PAIR))
+        ratios = [pair[b].stats.sq_searches
+                  / max(base[b].stats.sq_searches, 1) for b in pair]
+        assert geometric_mean([max(r, 1e-3) for r in ratios]) < 0.5
+
+    def test_load_buffer_cuts_lq_demand_heavily(self, runner, base):
+        buf = runner.run_lsq_suite(LsqConfig(
+            lq_search=LoadQueueSearchMode.LOAD_BUFFER,
+            load_buffer_entries=2))
+        ratios = [buf[b].stats.lq_searches
+                  / max(base[b].stats.lq_searches, 1) for b in buf]
+        assert geometric_mean([max(r, 1e-3) for r in ratios]) < 0.6
+
+    def test_vortex_is_the_least_reduced(self, runner, base):
+        # Figure 8's outlier: store-heavy vortex keeps most LQ searches.
+        buf = runner.run_lsq_suite(LsqConfig(
+            lq_search=LoadQueueSearchMode.LOAD_BUFFER,
+            load_buffer_entries=2))
+        ratios = {b: buf[b].stats.lq_searches
+                  / max(base[b].stats.lq_searches, 1) for b in buf}
+        assert max(ratios, key=ratios.get) == "vortex"
+        assert min(ratios, key=ratios.get) == "mgrid"
+
+
+class TestPredictorOrdering:
+    def test_aggressive_worse_than_pair_on_group_benchmarks(self, runner):
+        from repro.harness.figures import (_predictor_base_machine,
+                                           _predictor_machine)
+        base = runner.run_suite(_predictor_base_machine())
+        pair = runner.run_suite(_predictor_machine(PredictorMode.PAIR))
+        aggressive = runner.run_suite(
+            _predictor_machine(PredictorMode.AGGRESSIVE))
+        # vortex: the paper's poster child for constructive interference.
+        assert aggressive["vortex"].ipc < pair["vortex"].ipc
+        assert pair["vortex"].stats.sq_searches \
+            >= aggressive["vortex"].stats.sq_searches
+
+    def test_perfect_predictor_is_safe(self, runner):
+        from repro.harness.figures import (_predictor_base_machine,
+                                           _predictor_machine)
+        base = runner.run_suite(_predictor_base_machine())
+        perfect = runner.run_suite(_predictor_machine(PredictorMode.PERFECT))
+        for bench in SUBSET:
+            assert perfect[bench].stats.store_load_squashes == 0
+            assert perfect[bench].ipc > 0.93 * base[bench].ipc
+
+
+class TestSuiteStructure:
+    def test_fp_gains_exceed_int_gains_for_capacity(self, runner, base):
+        seg = runner.run_lsq_suite(segmented_lsq(ports=2))
+        int_gain = geometric_mean([seg[b].ipc / base[b].ipc
+                                   for b in ("gzip", "vortex")])
+        fp_gain = geometric_mean([seg[b].ipc / base[b].ipc
+                                  for b in ("mgrid", "equake")])
+        assert fp_gain > int_gain
+
+    def test_table6_mostly_single_segment(self, runner):
+        seg = runner.run_lsq_suite(segmented_lsq(ports=2))
+        for bench in SUBSET:
+            dist = seg[bench].stats.segment_search_distribution()
+            assert dist.get(1, 0.0) > 0.5

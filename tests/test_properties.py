@@ -1,0 +1,231 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+* Any well-formed random trace runs to completion on any LSQ design and
+  commits exactly its length.
+* The segmented queue preserves program order, capacity, and allocation
+  invariants under random allocate/commit/squash interleavings.
+* The cache behaves identically to a reference LRU model.
+* The NILP tracker's out-of-order count matches a brute-force recount.
+"""
+
+import random as stdlib_random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import (
+    AllocationPolicy,
+    LoadQueueSearchMode,
+    LsqConfig,
+    PredictorMode,
+    base_machine,
+)
+from dataclasses import replace
+
+from repro.config import CacheConfig
+from repro.core.load_buffer import NilpTracker
+from repro.core.queues import SegmentedQueue
+from repro.memory.cache import Cache
+from repro.pipeline.dyninst import DynInst, InstState
+from repro.pipeline.processor import simulate
+from repro.workload.isa import Instruction, OpClass
+from repro.workload.trace import Trace
+
+
+# ---------------------------------------------------------------------------
+# random trace -> simulation invariants
+# ---------------------------------------------------------------------------
+
+def random_trace(seed: int, length: int) -> Trace:
+    rng = stdlib_random.Random(seed)
+    insts = []
+    pcs = [0x1000 + 4 * i for i in range(32)]
+    for i in range(length):
+        pc = pcs[i % len(pcs)]
+        roll = rng.random()
+        if roll < 0.25:
+            addr = 0x2000 + 8 * rng.randrange(32)
+            insts.append(Instruction(pc=pc, op=OpClass.LOAD,
+                                     dest=rng.randrange(1, 30),
+                                     srcs=(rng.randrange(1, 30),),
+                                     addr=addr))
+        elif roll < 0.38:
+            addr = 0x2000 + 8 * rng.randrange(32)
+            insts.append(Instruction(pc=pc, op=OpClass.STORE,
+                                     srcs=(rng.randrange(1, 30),
+                                           rng.randrange(1, 30)),
+                                     addr=addr))
+        elif roll < 0.5:
+            insts.append(Instruction(pc=pc, op=OpClass.BRANCH,
+                                     srcs=(rng.randrange(1, 30),),
+                                     taken=rng.random() < 0.5,
+                                     target=pcs[0]))
+        else:
+            insts.append(Instruction(pc=pc, op=OpClass.INT_ALU,
+                                     dest=rng.randrange(1, 30),
+                                     srcs=(rng.randrange(1, 30),
+                                           rng.randrange(1, 30))))
+    return Trace(insts, name=f"random-{seed}")
+
+
+LSQ_VARIANTS = [
+    LsqConfig(),
+    LsqConfig(search_ports=1),
+    LsqConfig(predictor=PredictorMode.PAIR,
+              lq_search=LoadQueueSearchMode.LOAD_BUFFER,
+              load_buffer_entries=1),
+    LsqConfig(predictor=PredictorMode.AGGRESSIVE),
+    LsqConfig(predictor=PredictorMode.PERFECT),
+    LsqConfig(segments=4, segment_entries=6),
+    LsqConfig(segments=4, segment_entries=6,
+              allocation=AllocationPolicy.NO_SELF_CIRCULAR,
+              predictor=PredictorMode.PAIR,
+              lq_search=LoadQueueSearchMode.LOAD_BUFFER),
+    LsqConfig(lq_entries=4, sq_entries=4),
+    LsqConfig(lq_search=LoadQueueSearchMode.IN_ORDER),
+]
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(0, 10_000), variant=st.integers(0, len(LSQ_VARIANTS) - 1))
+def test_random_traces_always_complete(seed, variant):
+    trace = random_trace(seed, 300)
+    machine = replace(base_machine(), lsq=LSQ_VARIANTS[variant])
+    result = simulate(trace, machine)
+    stats = result.stats
+    assert stats.committed == len(trace)
+    assert stats.committed_loads == trace.stats().loads
+    assert stats.committed_stores == trace.stats().stores
+    assert 0 < stats.ipc <= machine.core.issue_width
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_simulation_is_deterministic(seed):
+    trace = random_trace(seed, 200)
+    a = simulate(trace, base_machine())
+    b = simulate(trace, base_machine())
+    assert vars(a.stats) == vars(b.stats)
+
+
+# ---------------------------------------------------------------------------
+# segmented queue invariants
+# ---------------------------------------------------------------------------
+
+def queue_entry(seq):
+    return DynInst(seq, seq, Instruction(pc=4 * seq, op=OpClass.LOAD,
+                                         dest=1, addr=8 * seq))
+
+
+@settings(max_examples=40, deadline=None)
+@given(policy=st.sampled_from(list(AllocationPolicy)),
+       ops=st.lists(st.integers(0, 2), min_size=1, max_size=120),
+       segments=st.integers(1, 4), entries=st.integers(1, 6))
+def test_queue_invariants_under_random_ops(policy, ops, segments, entries):
+    queue = SegmentedQueue("Q", segments, entries, policy)
+    live = []
+    seq = 0
+    for op in ops:
+        if op == 0 and queue.can_allocate():           # allocate
+            seq += 1
+            entry = queue_entry(seq)
+            queue.allocate(entry)
+            live.append(entry)
+        elif op == 1 and live:                          # commit oldest
+            queue.commit_head(live.pop(0))
+        elif op == 2 and live:                          # squash a suffix
+            cut = live[len(live) // 2].seq
+            queue.squash_from(cut)
+            live = [e for e in live if e.seq < cut]
+        # invariants
+        assert len(queue) == len(live)
+        assert [e.seq for e in queue.entries()] == [e.seq for e in live]
+        per_segment = {}
+        for e in live:
+            per_segment.setdefault(e.lsq_segment, []).append(e.seq)
+        for seg, seqs in per_segment.items():
+            assert 0 <= seg < segments
+            assert len(seqs) <= entries
+            assert seqs == sorted(seqs)
+        if live:
+            assert queue.oldest is live[0]
+            assert queue.youngest is live[-1]
+        assert len(live) <= queue.capacity
+
+
+@settings(max_examples=25, deadline=None)
+@given(seqs=st.lists(st.integers(1, 10 ** 6), min_size=2, max_size=40,
+                     unique=True))
+def test_queue_plans_partition_entries(seqs):
+    queue = SegmentedQueue("Q", 4, 10, AllocationPolicy.SELF_CIRCULAR)
+    for seq in sorted(seqs):
+        queue.allocate(queue_entry(seq))
+    pivot = sorted(seqs)[len(seqs) // 2]
+    backward = [e.seq for __, entries in queue.backward_plan(pivot)
+                for e in entries]
+    forward = [e.seq for __, entries in queue.forward_plan(pivot)
+               for e in entries]
+    assert set(backward) == {s for s in seqs if s < pivot}
+    assert set(forward) == {s for s in seqs if s > pivot}
+
+
+# ---------------------------------------------------------------------------
+# cache vs reference LRU model
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=30, deadline=None)
+@given(accesses=st.lists(st.integers(0, 63), min_size=1, max_size=200))
+def test_cache_matches_reference_lru(accesses):
+    block = 32
+    cache = Cache(CacheConfig(size_bytes=2 * 4 * block, associativity=2,
+                              block_bytes=block, hit_latency=1))
+    reference = {}  # set -> list of tags, LRU first
+    for slot in accesses:
+        addr = slot * block
+        set_index, tag = slot % 4, slot // 4
+        entries = reference.setdefault(set_index, [])
+        expected_hit = tag in entries
+        assert cache.lookup(addr) == expected_hit
+        if expected_hit:
+            entries.remove(tag)
+            entries.append(tag)
+        else:
+            cache.fill(addr)
+            if len(entries) >= 2:
+                entries.pop(0)
+            entries.append(tag)
+
+
+# ---------------------------------------------------------------------------
+# NILP tracker vs brute force
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=30, deadline=None)
+@given(ops=st.lists(st.integers(0, 1), min_size=1, max_size=60))
+def test_nilp_count_matches_bruteforce(ops):
+    tracker = NilpTracker()
+    loads = []
+    seq = 0
+    rng = stdlib_random.Random(42)
+    for op in ops:
+        if op == 0:
+            seq += 1
+            ld = queue_entry(seq)
+            tracker.on_allocate(ld)
+            loads.append(ld)
+        else:
+            pending = [l for l in loads if not l.mem_executed]
+            if not pending:
+                continue
+            victim = rng.choice(pending)
+            if not tracker.is_in_order(victim):
+                tracker.mark_ooo_issue(victim)
+            victim.mem_executed = True
+            tracker.advance()
+        # brute force: issued loads with an older un-issued load
+        expected = 0
+        for i, ld in enumerate(loads):
+            if ld.mem_executed and any(not o.mem_executed
+                                       for o in loads[:i]):
+                expected += 1
+        assert tracker.ooo_in_flight == expected

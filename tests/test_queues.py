@@ -1,0 +1,236 @@
+"""Unit tests for the segmented queues and port calendars (Section 3)."""
+
+import pytest
+
+from repro.config import AllocationPolicy
+from repro.core.queues import PortCalendar, SegmentedQueue
+from repro.pipeline.dyninst import DynInst
+from tests.conftest import load, store
+
+
+def entry(seq, addr=None):
+    return DynInst(seq, seq,
+                   load(addr if addr is not None else 8 * seq, pc=4 * seq))
+
+
+def fill(queue, seqs):
+    made = [entry(s) for s in seqs]
+    for e in made:
+        queue.allocate(e)
+    return made
+
+
+class TestFlatQueue:
+    def make(self, entries=4):
+        return SegmentedQueue("Q", 1, entries,
+                              AllocationPolicy.SELF_CIRCULAR)
+
+    def test_fifo_commit(self):
+        q = self.make()
+        a, b = fill(q, [1, 2])
+        q.commit_head(a)
+        assert q.oldest is b
+
+    def test_out_of_order_commit_rejected(self):
+        q = self.make()
+        a, b = fill(q, [1, 2])
+        with pytest.raises(RuntimeError):
+            q.commit_head(b)
+
+    def test_capacity(self):
+        q = self.make(entries=2)
+        fill(q, [1, 2])
+        assert not q.can_allocate()
+        with pytest.raises(RuntimeError):
+            q.allocate(entry(3))
+
+    def test_circular_reuse(self):
+        q = self.make(entries=2)
+        a, b = fill(q, [1, 2])
+        q.commit_head(a)
+        assert q.can_allocate()
+        q.allocate(entry(3))
+        assert [e.seq for e in q.entries()] == [2, 3]
+
+    def test_squash_from(self):
+        q = self.make()
+        fill(q, [1, 2, 3, 4])
+        dropped = q.squash_from(3)
+        assert sorted(e.seq for e in dropped) == [3, 4]
+        assert [e.seq for e in q.entries()] == [1, 2]
+
+    def test_backward_plan_orders_youngest_first(self):
+        q = self.make()
+        fill(q, [1, 2, 3])
+        plan = q.backward_plan(4)
+        assert len(plan) == 1
+        segment, entries = plan[0]
+        assert [e.seq for e in entries] == [3, 2, 1]
+
+    def test_forward_plan_orders_oldest_first(self):
+        q = self.make()
+        fill(q, [1, 2, 3])
+        plan = q.forward_plan(0)
+        assert [e.seq for e in plan[0][1]] == [1, 2, 3]
+
+    def test_plans_respect_seq_bound(self):
+        q = self.make()
+        fill(q, [1, 2, 3])
+        assert [e.seq for e in q.backward_plan(3)[0][1]] == [2, 1]
+        assert [e.seq for e in q.forward_plan(2)[0][1]] == [3]
+
+    def test_empty_plans(self):
+        q = self.make()
+        assert q.backward_plan(10) == []
+        assert q.forward_plan(0) == []
+
+
+class TestSelfCircular:
+    def make(self):
+        return SegmentedQueue("Q", 4, 4, AllocationPolicy.SELF_CIRCULAR)
+
+    def test_compacts_into_one_segment(self):
+        q = self.make()
+        made = fill(q, range(1, 4))
+        assert {e.lsq_segment for e in made} == {0}
+
+    def test_reuses_freed_entries_in_segment(self):
+        q = self.make()
+        made = fill(q, range(1, 5))      # fills segment 0
+        q.commit_head(made[0])
+        extra = entry(10)
+        q.allocate(extra)
+        assert extra.lsq_segment == 0    # reuse, not spill
+
+    def test_spills_when_segment_full(self):
+        q = self.make()
+        fill(q, range(1, 5))             # segment 0 full
+        extra = entry(10)
+        q.allocate(extra)
+        assert extra.lsq_segment == 1
+
+    def test_full_queue(self):
+        q = self.make()
+        fill(q, range(16))
+        assert not q.can_allocate()
+
+    def test_head_segment_tracks_oldest(self):
+        q = self.make()
+        made = fill(q, range(1, 6))      # segments 0 and 1
+        assert q.head_segment() == 0
+        for e in made[:4]:
+            q.commit_head(e)
+        assert q.head_segment() == 1
+
+
+class TestNoSelfCircular:
+    def make(self):
+        return SegmentedQueue("Q", 4, 4, AllocationPolicy.NO_SELF_CIRCULAR)
+
+    def test_linear_advance_despite_free_entries(self):
+        q = self.make()
+        made = fill(q, range(1, 5))      # occupies ring slots 0..3 (seg 0)
+        for e in made:
+            q.commit_head(e)             # segment 0 is now empty
+        extra = entry(10)
+        q.allocate(extra)
+        assert extra.lsq_segment == 1    # the ring moved on regardless
+
+    def test_wraps_around(self):
+        q = self.make()
+        made = fill(q, range(16))
+        for e in made:
+            q.commit_head(e)
+        extra = entry(20)
+        q.allocate(extra)
+        assert extra.lsq_segment == 0
+
+    def test_blocks_when_target_segment_full(self):
+        q = self.make()
+        fill(q, range(4))                # segment 0 holds 4 live entries
+        for __ in range(12):
+            q.allocate(entry(100 + __))  # fill segments 1..3
+        assert not q.can_allocate()      # ring points at segment 0 again
+
+    def test_squash_rewinds_ring(self):
+        q = self.make()
+        made = fill(q, range(1, 7))      # spans segments 0 and 1
+        q.squash_from(5)                 # drop the segment-1 entries
+        replacement = entry(30)
+        q.allocate(replacement)
+        assert replacement.lsq_segment == 1
+        assert replacement.lsq_virtual == 4
+
+
+class TestMultiSegmentPlans:
+    def test_backward_plan_visits_younger_segment_first(self):
+        q = SegmentedQueue("Q", 4, 2, AllocationPolicy.SELF_CIRCULAR)
+        fill(q, [1, 2, 3, 4])            # segments 0 and 1
+        plan = q.backward_plan(10)
+        assert [segment for segment, __ in plan] == [1, 0]
+        assert [e.seq for e in plan[0][1]] == [4, 3]
+        assert [e.seq for e in plan[1][1]] == [2, 1]
+
+    def test_forward_plan_visits_older_segment_first(self):
+        q = SegmentedQueue("Q", 4, 2, AllocationPolicy.SELF_CIRCULAR)
+        fill(q, [1, 2, 3, 4])
+        plan = q.forward_plan(0)
+        assert [segment for segment, __ in plan] == [0, 1]
+
+    def test_occupied_segments(self):
+        q = SegmentedQueue("Q", 4, 2, AllocationPolicy.SELF_CIRCULAR)
+        fill(q, [1, 2, 3])
+        assert q.occupied_segments() == 2
+
+
+class TestPortCalendar:
+    def test_ports_per_segment_per_cycle(self):
+        cal = PortCalendar(2)
+        cal.reserve(0, 5)
+        cal.reserve(0, 5)
+        assert not cal.available(0, 5)
+        assert cal.available(0, 6)
+        assert cal.available(1, 5)
+
+    def test_over_reserve_raises(self):
+        cal = PortCalendar(1)
+        cal.reserve(0, 1)
+        with pytest.raises(RuntimeError):
+            cal.reserve(0, 1)
+
+    def test_check_path_ok(self):
+        cal = PortCalendar(1)
+        assert cal.check_path([0, 1, 2], 3) == "ok"
+
+    def test_check_path_busy_now(self):
+        cal = PortCalendar(1)
+        cal.reserve(0, 3)
+        assert cal.check_path([0, 1], 3) == "busy_now"
+
+    def test_check_path_busy_later(self):
+        cal = PortCalendar(1)
+        cal.reserve(1, 4)
+        assert cal.check_path([0, 1], 3) == "busy_later"
+
+    def test_reserve_path_staggers_cycles(self):
+        cal = PortCalendar(1)
+        cal.reserve_path([0, 1, 2], 10)
+        assert not cal.available(0, 10)
+        assert not cal.available(1, 11)
+        assert not cal.available(2, 12)
+        assert cal.available(1, 10)
+
+    def test_empty_path_always_ok(self):
+        cal = PortCalendar(1)
+        assert cal.check_path([], 0) == "ok"
+        cal.reserve_path([], 0)
+
+    def test_gc_keeps_future_reservations(self):
+        cal = PortCalendar(1)
+        cal.reserve(0, 100)
+        cal.begin_cycle(99)
+        cal.begin_cycle(200)   # sweeps the past
+        assert cal.available(0, 100)  # was swept (now in the past)
+        cal.reserve(0, 300)
+        cal.begin_cycle(265)
+        assert not cal.available(0, 300)

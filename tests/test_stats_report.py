@@ -1,0 +1,89 @@
+"""Unit tests for statistics counters and report helpers."""
+
+import pytest
+
+from repro.stats.counters import SimStats
+from repro.stats.report import (
+    format_percent,
+    format_table,
+    geometric_mean,
+    mean_speedup,
+    speedup,
+    summarise_by_suite,
+)
+
+
+class TestSimStats:
+    def test_ipc(self):
+        stats = SimStats(cycles=100, committed=250)
+        assert stats.ipc == pytest.approx(2.5)
+
+    def test_ipc_zero_cycles(self):
+        assert SimStats().ipc == 0.0
+
+    def test_occupancy_averages(self):
+        stats = SimStats(cycles=10, lq_occupancy_cycles=50,
+                         sq_occupancy_cycles=20, ooo_load_cycles=15)
+        assert stats.avg_lq_occupancy == pytest.approx(5.0)
+        assert stats.avg_sq_occupancy == pytest.approx(2.0)
+        assert stats.avg_ooo_loads == pytest.approx(1.5)
+
+    def test_squash_rate(self):
+        stats = SimStats(committed=1000, store_load_squashes=2)
+        assert stats.squash_rate == pytest.approx(2e-3)
+
+    def test_predictor_mispredict_rate(self):
+        stats = SimStats(committed_loads=100, useless_searches=5,
+                         missed_dependences=5)
+        assert stats.predictor_mispredict_rate == pytest.approx(0.1)
+
+    def test_violation_total(self):
+        stats = SimStats(store_load_squashes=1, load_load_squashes=2,
+                         contention_squashes=3)
+        assert stats.violation_squashes == 6
+
+    def test_segment_distribution_normalises(self):
+        stats = SimStats(segment_search_hist={1: 3, 2: 1})
+        dist = stats.segment_search_distribution()
+        assert dist == {1: pytest.approx(0.75), 2: pytest.approx(0.25)}
+
+    def test_segment_distribution_empty(self):
+        assert SimStats().segment_search_distribution() == {}
+
+
+class TestReportHelpers:
+    def test_speedup(self):
+        assert speedup(1.1, 1.0) == pytest.approx(0.1)
+        assert speedup(0.9, 1.0) == pytest.approx(-0.1)
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2, 8]) == pytest.approx(4.0)
+        assert geometric_mean([1, 1, 1]) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])
+
+    def test_mean_speedup(self):
+        assert mean_speedup([1.1, 1.1]) == pytest.approx(0.1)
+
+    def test_format_percent(self):
+        assert format_percent(0.063) == "+6.3%"
+        assert format_percent(-0.2, digits=0) == "-20%"
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "long_header"], [["x", 1], ["yy", 22]],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "long_header" in lines[1]
+        assert len({len(line) for line in lines[2:]}) <= 2
+
+    def test_summarise_by_suite(self):
+        per_bench = {"a": 0.10, "b": 0.10, "x": 0.20}
+        out = summarise_by_suite(per_bench, int_names=["a", "b"],
+                                 fp_names=["x"])
+        assert out["Int.Avg"] == pytest.approx(0.10)
+        assert out["Fp.Avg"] == pytest.approx(0.20)

@@ -1,0 +1,165 @@
+"""Tests for trace-analysis tools and cross-run analysis helpers."""
+
+import pytest
+
+from repro.stats.analysis import (
+    PressureBreakdown,
+    SweepSummary,
+    calibration_report,
+    correlation,
+    rank_agreement,
+    search_pressure,
+)
+from repro.stats.counters import SimStats
+from repro.workload.tools import (
+    address_locality,
+    burstiness,
+    dependence_profile,
+    mix_report,
+    same_address_load_pairs,
+    store_load_match_distances,
+)
+from repro.workload.trace import Trace
+from repro.workload.synthetic import generate_trace
+from tests.conftest import alu, filler, load, store
+
+
+class TestMatchDistances:
+    def test_counts_matches_and_distances(self):
+        insts = [store(0x40, pc=0x100), alu(pc=0x104),
+                 load(0x40, pc=0x108, dest=1),    # distance 2
+                 load(0x80, pc=0x10C, dest=2)]    # no match
+        profile = store_load_match_distances(Trace(insts), bucket=4)
+        assert profile.total_loads == 2
+        assert profile.matched_loads == 1
+        assert profile.match_fraction == pytest.approx(0.5)
+        assert profile.within(4) == 1
+
+    def test_within_bound(self):
+        insts = [store(0x40, pc=0x100)] + filler(100) + \
+            [load(0x40, pc=0x108, dest=1)]
+        profile = store_load_match_distances(Trace(insts))
+        assert profile.matched_loads == 1
+        assert profile.within(64) == 0
+        assert profile.within(256) == 1
+
+    def test_empty_trace(self):
+        profile = store_load_match_distances(Trace([]))
+        assert profile.match_fraction == 0.0
+
+
+class TestDependenceProfile:
+    def test_serial_chain(self):
+        insts = [alu(pc=4 * i, dest=1, srcs=(1,)) for i in range(20)]
+        profile = dependence_profile(Trace(insts))
+        assert profile.critical_path == 20
+        assert profile.dataflow_ipc_bound == pytest.approx(1.0)
+        assert profile.mean_distance == pytest.approx(1.0)
+
+    def test_independent_ops(self):
+        profile = dependence_profile(Trace(filler(20)))
+        assert profile.critical_path == 1
+        assert profile.dataflow_ipc_bound == pytest.approx(20.0)
+
+    def test_str(self):
+        text = str(dependence_profile(Trace(filler(4))))
+        assert "critical path" in text
+
+
+class TestLocalityAndPairs:
+    def test_locality_split(self):
+        insts = [load(0x1000, pc=0x100, dest=1),
+                 load(0x5000_0000, pc=0x104, dest=2),
+                 load(0x1004, pc=0x108, dest=3)]   # same block as first
+        trace = Trace(insts, cold_regions=[(0x5000_0000, 0x6000_0000)])
+        locality = address_locality(trace)
+        assert locality.hot_blocks == 1
+        assert locality.cold_blocks == 1
+        assert locality.unique_blocks == 2
+
+    def test_same_address_pairs(self):
+        insts = [load(0x40, pc=0x100, dest=1),
+                 load(0x40, pc=0x104, dest=2),
+                 load(0x80, pc=0x108, dest=3)]
+        assert same_address_load_pairs(Trace(insts)) == 1
+
+    def test_pairs_respect_window(self):
+        insts = ([load(0x40, pc=0x100, dest=1)] + filler(300)
+                 + [load(0x40, pc=0x104, dest=2)])
+        assert same_address_load_pairs(Trace(insts), window=256) == 0
+
+    def test_burstiness(self):
+        insts = [load(8 * i, pc=0x100, dest=1) for i in range(8)] + \
+            filler(8)
+        hist = burstiness(Trace(insts), group=8)
+        assert hist == {8: 1, 0: 1}
+
+    def test_mix_report_runs_on_real_trace(self):
+        trace = generate_trace("gzip", n_instructions=800)
+        report = mix_report(trace)
+        assert "forwarding" in report and "burstiness" in report
+
+
+class TestCorrelation:
+    def test_perfect_positive(self):
+        assert correlation([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert correlation([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_rejects_constant(self):
+        with pytest.raises(ValueError):
+            correlation([1, 1, 1], [1, 2, 3])
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(ValueError):
+            correlation([1], [1, 2])
+
+    def test_rank_agreement_monotone(self):
+        assert rank_agreement([1, 5, 9], [2, 100, 101]) == pytest.approx(1.0)
+
+    def test_rank_agreement_with_ties(self):
+        value = rank_agreement([1, 2, 2, 3], [1, 2, 3, 4])
+        assert 0.8 < value <= 1.0
+
+
+class TestPressure:
+    def test_dominant_source(self):
+        stats = SimStats(sq_port_stalls=5, load_buffer_full_stalls=50)
+        pressure = search_pressure(stats)
+        assert pressure.dominant() == "load_buffer_full_stalls"
+        assert "load_buffer_full_stalls" in pressure.format()
+
+    def test_dispatch_stall_aggregation(self):
+        stats = SimStats(lq_full_stalls=1, sq_full_stalls=2,
+                         rob_full_stalls=3, iq_full_stalls=4)
+        assert search_pressure(stats).dispatch_stalls == 10
+
+
+class TestSweepSummary:
+    def make(self):
+        return SweepSummary(
+            ipc={"base": {"a": 1.0, "b": 2.0},
+                 "fast": {"a": 1.1, "b": 2.2}},
+            baseline="base")
+
+    def test_speedups(self):
+        speedups = self.make().speedups()
+        assert speedups["fast"]["a"] == pytest.approx(1.1)
+        assert speedups["base"]["b"] == pytest.approx(1.0)
+
+    def test_best_config(self):
+        assert self.make().best_config() == "fast"
+
+    def test_format_contains_geomean(self):
+        assert "geomean-speedup" in self.make().format()
+
+
+class TestCalibrationReport:
+    def test_report_contains_stats(self):
+        measured = {"a": 1.0, "b": 2.0, "c": 3.1}
+        target = {"a": 1.1, "b": 2.2, "c": 2.9}
+        text = calibration_report(measured, target, label="IPC")
+        assert "Pearson r" in text
+        assert "rank agreement" in text
+        assert "IPC" in text

@@ -1,0 +1,116 @@
+"""Tests for the unified (combined load+store) queue option."""
+
+import pytest
+from dataclasses import replace
+
+from repro.config import LsqConfig, MemoryConfig, PredictorMode, \
+    StoreSetConfig, base_machine
+from repro.core.lsq import LoadResult, LoadStoreQueue, Retry
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.pipeline.dyninst import DynInst
+from repro.pipeline.processor import simulate
+from repro.stats.counters import SimStats
+from repro.workload.synthetic import generate_trace
+from tests.conftest import load, store
+
+
+def make_lsq(**kwargs):
+    config = LsqConfig(unified_queue=True, **kwargs)
+    stats = SimStats()
+    lsq = LoadStoreQueue(config, StoreSetConfig(clear_interval=0),
+                         MemoryHierarchy(MemoryConfig()), stats)
+    return lsq, stats
+
+
+_SEQ = [100]
+
+
+def dyn(inst):
+    _SEQ[0] += 1
+    return DynInst(_SEQ[0], _SEQ[0], inst)
+
+
+class TestUnifiedStructure:
+    def test_single_shared_queue(self):
+        lsq, __ = make_lsq()
+        assert lsq.lq is lsq.sq
+        assert lsq.lq_ports is lsq.sq_ports
+        assert lsq.lq.capacity == 64   # lq_entries + sq_entries
+
+    def test_capacity_is_shared(self):
+        lsq, __ = make_lsq(lq_entries=4, sq_entries=4)
+        for i in range(8):
+            inst = dyn(load(0x100 + 8 * i) if i % 2 else store(0x500 + 8 * i))
+            assert lsq.can_allocate(inst)
+            lsq.allocate(inst)
+        assert not lsq.can_allocate(dyn(load(0x900)))
+
+    def test_forwarding_skips_load_entries(self):
+        lsq, __ = make_lsq()
+        blocker = dyn(load(0x40))        # a LOAD at the same address
+        lsq.allocate(blocker)
+        lsq.try_execute_load(blocker, 1)
+        st = dyn(store(0x40))
+        lsq.allocate(st)
+        lsq.try_execute_store(st, 2)
+        probe = dyn(load(0x40))
+        lsq.allocate(probe)
+        result = lsq.try_execute_load(probe, 3)
+        assert isinstance(result, LoadResult)
+        assert probe.forwarded_from == st.seq   # matched the store, not the load
+
+    def test_ordering_check_skips_store_entries(self):
+        lsq, __ = make_lsq()
+        older = dyn(load(0x40))
+        lsq.allocate(older)
+        st = dyn(store(0x40))
+        lsq.allocate(st)
+        lsq.try_execute_store(st, 1)
+        # The younger *store* must not register as a load-load violation.
+        result = lsq.try_execute_load(older, 2)
+        assert result.violation is None
+
+    def test_shared_ports_contended_by_both_searches(self):
+        lsq, stats = make_lsq(search_ports=1)
+        st = dyn(store(0x900))
+        lsq.allocate(st)
+        lsq.try_execute_store(st, 0)
+        first = dyn(load(0x40))
+        lsq.allocate(first)
+        second = dyn(load(0x48))
+        lsq.allocate(second)
+        # Each load needs an SQ search + an LQ ordering search on the
+        # SAME single-ported CAM: even the first cannot run both at once.
+        assert isinstance(lsq.try_execute_load(first, 1), Retry)
+
+
+class TestUnifiedEndToEnd:
+    def test_completes_all_benchmark_traces(self):
+        trace = generate_trace("vortex", n_instructions=1500)
+        machine = replace(base_machine(), lsq=LsqConfig(unified_queue=True))
+        result = simulate(trace, machine)
+        assert result.stats.committed == len(trace)
+
+    def test_unified_with_techniques(self):
+        from repro.config import LoadQueueSearchMode
+        trace = generate_trace("gzip", n_instructions=1500)
+        machine = replace(base_machine(), lsq=LsqConfig(
+            unified_queue=True, predictor=PredictorMode.PAIR,
+            lq_search=LoadQueueSearchMode.LOAD_BUFFER,
+            load_buffer_entries=2))
+        result = simulate(trace, machine)
+        assert result.stats.committed == len(trace)
+
+    def test_occupancy_split_correctly(self):
+        trace = generate_trace("gzip", n_instructions=1500)
+        machine = replace(base_machine(), lsq=LsqConfig(unified_queue=True))
+        stats = simulate(trace, machine).stats
+        assert stats.avg_lq_occupancy > 0
+        assert stats.avg_sq_occupancy > 0
+
+    def test_segmented_unified(self):
+        trace = generate_trace("mgrid", n_instructions=1500)
+        machine = replace(base_machine(), lsq=LsqConfig(
+            unified_queue=True, segments=4, segment_entries=28))
+        result = simulate(trace, machine)
+        assert result.stats.committed == len(trace)
