@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""The full validation acceptance sweep.
+
+Runs every benchmark x LSQ preset combination under the complete
+validation stack — memory-model oracle plus cycle-level invariants —
+and (unless ``--no-faults``) the three fault-injection campaigns on
+each machine, asserting zero silent corruptions.  This is the
+long-running counterpart to the CI smoke matrix; expect minutes of
+pure-Python simulation.
+
+Usage:
+    PYTHONPATH=src python scripts/validate_sweep.py
+    PYTHONPATH=src python scripts/validate_sweep.py -n 3000 --benchmarks gcc,mcf
+    PYTHONPATH=src python scripts/validate_sweep.py --no-faults
+
+Exit status is nonzero if any configuration fails validation or any
+fault campaign reports a silent corruption.
+"""
+
+import argparse
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from dataclasses import replace
+
+from repro.cli import PRESETS
+from repro.config import base_machine
+from repro.pipeline.processor import simulate
+from repro.validate import (
+    SimulationDeadlock,
+    ValidationChecker,
+    ValidationError,
+    run_all_fault_classes,
+)
+from repro.workload import ALL_BENCHMARKS, generate_trace
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-n", "--instructions", type=int,
+                        default=int(os.environ.get(
+                            "REPRO_BENCH_INSTRUCTIONS", "6000")))
+    parser.add_argument("--benchmarks", default="all",
+                        help="comma-separated names (default: all 18)")
+    parser.add_argument("--presets", default="all",
+                        help="comma-separated preset names (default: all 4)")
+    parser.add_argument("--ports", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=0,
+                        help="fault-injection RNG seed")
+    parser.add_argument("--no-faults", action="store_true",
+                        help="skip the fault-injection campaigns")
+    args = parser.parse_args(argv)
+
+    benchmarks = (list(ALL_BENCHMARKS) if args.benchmarks == "all"
+                  else args.benchmarks.split(","))
+    presets = (sorted(PRESETS) if args.presets == "all"
+               else args.presets.split(","))
+    for name in benchmarks:
+        if name not in ALL_BENCHMARKS:
+            parser.error(f"unknown benchmark {name!r}; choose from: "
+                         f"{', '.join(ALL_BENCHMARKS)}")
+    for name in presets:
+        if name not in PRESETS:
+            parser.error(f"unknown preset {name!r}; choose from: "
+                         f"{', '.join(sorted(PRESETS))}")
+
+    started = time.time()
+    failures = []
+    total_loads = 0
+    total_cycles = 0
+    total_injected = 0
+    for bench in benchmarks:
+        trace = generate_trace(bench, n_instructions=args.instructions)
+        for preset in presets:
+            machine = replace(base_machine(),
+                              lsq=PRESETS[preset](ports=args.ports))
+            label = f"{bench} x {preset}"
+            checker = ValidationChecker()
+            try:
+                result = simulate(trace, machine, checker=checker)
+            except (ValidationError, SimulationDeadlock) as error:
+                failures.append(label)
+                print(f"FAIL {label}\n{error}")
+                continue
+            total_loads += checker.checked_loads
+            total_cycles += checker.checked_cycles
+            line = f"ok   {label}: IPC {result.ipc:.2f}; {checker.report()}"
+            if not args.no_faults:
+                reports = run_all_fault_classes(trace, machine,
+                                                seed=args.seed)
+                injected = sum(len(r.outcomes) for r in reports.values())
+                silent = sum(len(r.silent) for r in reports.values())
+                total_injected += injected
+                line += f"; faults: {injected} injected, {silent} silent"
+                for report in reports.values():
+                    if not report.ok:
+                        if label not in failures:
+                            failures.append(label)
+                        print(f"FAIL {report.format()}")
+            print(line)
+
+    elapsed = time.time() - started
+    total = len(benchmarks) * len(presets)
+    print(f"\nsweep: {total - len(failures)}/{total} configuration(s) "
+          f"passed in {elapsed:.0f}s; {total_loads} committed loads "
+          f"cross-checked, {total_cycles} cycles of invariants, "
+          f"{total_injected} faults injected")
+    if failures:
+        print("failed: " + ", ".join(failures))
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,14 +12,18 @@ Commands
               optionally save it as ``.lsqtrace``.
 ``pipetrace`` draw the per-instruction pipeline diagram for the first
               instructions of a run.
+``check``     run benchmarks × LSQ presets under the full validation
+              stack (memory-model oracle + cycle-level invariants,
+              optionally fault injection); exit nonzero on any failure.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from dataclasses import replace
-from typing import Dict
+from typing import Dict, List
 
 from repro.config import (
     MachineConfig,
@@ -47,14 +51,32 @@ PRESETS: Dict[str, callable] = {
 def _machine(args) -> MachineConfig:
     core = scaled_machine() if getattr(args, "scaled", False) \
         else base_machine()
+    if args.lsq not in PRESETS:
+        sys.exit(f"unknown LSQ preset {args.lsq!r}; choose from: "
+                 f"{', '.join(sorted(PRESETS))}")
     lsq = PRESETS[args.lsq](ports=args.ports)
     return replace(core, lsq=lsq)
 
 
 def _load_trace(args) -> Trace:
-    if args.benchmark.endswith(".lsqtrace"):
-        return Trace.load(args.benchmark)
-    return generate_trace(args.benchmark, n_instructions=args.instructions)
+    name = args.benchmark
+    if name.endswith(".lsqtrace"):
+        if not os.path.exists(name):
+            sys.exit(f"trace file not found: {name}")
+        return Trace.load(name)
+    if name not in ALL_BENCHMARKS:
+        sys.exit(f"unknown benchmark {name!r}; choose from: "
+                 f"{', '.join(ALL_BENCHMARKS)} (or a .lsqtrace file)")
+    return generate_trace(name, n_instructions=args.instructions)
+
+
+def _resolve_benchmarks(name: str) -> List[str]:
+    if name == "all":
+        return list(ALL_BENCHMARKS)
+    if name not in ALL_BENCHMARKS:
+        sys.exit(f"unknown benchmark {name!r}; choose from: "
+                 f"{', '.join(ALL_BENCHMARKS)} or 'all'")
+    return [name]
 
 
 def cmd_run(args) -> None:
@@ -77,13 +99,15 @@ def cmd_run(args) -> None:
 def cmd_figure(args) -> None:
     from repro.harness import ExperimentRunner, figures
     from repro.harness.plots import bar_chart
-    runner = ExperimentRunner(n_instructions=args.instructions)
     names = (list(figures.ALL_EXPERIMENTS) if args.name == "all"
              else [args.name])
+    unknown = [name for name in names
+               if name not in figures.ALL_EXPERIMENTS]
+    if unknown:
+        sys.exit(f"unknown figure {unknown[0]!r}; choose from: "
+                 f"{', '.join(sorted(figures.ALL_EXPERIMENTS))} or 'all'")
+    runner = ExperimentRunner(n_instructions=args.instructions)
     for name in names:
-        if name not in figures.ALL_EXPERIMENTS:
-            sys.exit(f"unknown figure {name!r}; choose from "
-                     f"{sorted(figures.ALL_EXPERIMENTS)} or 'all'")
         result = figures.ALL_EXPERIMENTS[name](runner)
         print(bar_chart(result) if args.chart else result.format())
         print()
@@ -117,6 +141,47 @@ def cmd_pipetrace(args) -> None:
     processor.tracer = PipelineTracer(limit=args.last + 1)
     processor.run(trace)
     print(processor.tracer.render(args.first, args.last))
+
+
+def cmd_check(args) -> None:
+    from repro.validate import (
+        SimulationDeadlock,
+        ValidationChecker,
+        ValidationError,
+        run_all_fault_classes,
+    )
+    benchmarks = _resolve_benchmarks(args.benchmark)
+    presets = sorted(PRESETS) if args.lsq == "all" else [args.lsq]
+    failed = 0
+    for bench in benchmarks:
+        trace = generate_trace(bench, n_instructions=args.instructions)
+        for preset in presets:
+            machine = replace(base_machine(),
+                              lsq=PRESETS[preset](ports=args.ports))
+            checker = ValidationChecker()
+            try:
+                result = simulate(trace, machine, checker=checker)
+            except (ValidationError, SimulationDeadlock) as error:
+                failed += 1
+                print(f"FAIL {bench} x {preset}\n{error}")
+                continue
+            print(f"ok   {bench} x {preset}: IPC {result.ipc:.2f}; "
+                  f"{checker.report()}")
+            if args.faults:
+                reports = run_all_fault_classes(trace, machine,
+                                                seed=args.seed)
+                for report in reports.values():
+                    if not report.ok:
+                        failed += 1
+                        print(f"FAIL {report.format()}")
+                        print(report.checker.bundle().format())
+                    else:
+                        print(f"     {report.format()}")
+    total = len(benchmarks) * len(presets)
+    print(f"\ncheck: {total - failed}/{total} configuration(s) passed"
+          + (f", {failed} FAILED" if failed else ""))
+    if failed:
+        sys.exit(1)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -162,6 +227,22 @@ def build_parser() -> argparse.ArgumentParser:
     pipe.add_argument("--first", type=int, default=0)
     pipe.add_argument("--last", type=int, default=40)
     pipe.set_defaults(func=cmd_pipetrace)
+
+    check = sub.add_parser(
+        "check", help="run benchmarks under full validation")
+    check.add_argument("benchmark",
+                       help=f"benchmark name ({', '.join(ALL_BENCHMARKS)}) "
+                            "or 'all'")
+    check.add_argument("-n", "--instructions", type=int, default=6000)
+    check.add_argument("--lsq", choices=sorted(PRESETS) + ["all"],
+                       default="all")
+    check.add_argument("--ports", type=int, default=2)
+    check.add_argument("--faults", action="store_true",
+                       help="also run the fault-injection campaigns and "
+                            "assert zero silent corruptions")
+    check.add_argument("--seed", type=int, default=0,
+                       help="fault-injection RNG seed")
+    check.set_defaults(func=cmd_check)
     return parser
 
 

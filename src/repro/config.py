@@ -18,8 +18,15 @@ issue, 96-entry issue queue, 3-cycle L1 hit).
 from __future__ import annotations
 
 import enum
+import os
 from dataclasses import dataclass, field, replace
 from typing import Optional
+
+
+def _default_watchdog_cycles() -> int:
+    """Deadlock-watchdog threshold: ``REPRO_WATCHDOG_CYCLES`` env
+    override, else 50k cycles (generous for any real stall)."""
+    return int(os.environ.get("REPRO_WATCHDOG_CYCLES", "50000"))
 
 
 class PredictorMode(enum.Enum):
@@ -280,12 +287,17 @@ class CoreConfig:
     # Extra cycle charged on recovery to roll back the pair predictor's
     # LFST counters (Section 2.1.2).
     pair_rollback_penalty: int = 1
+    # Abort the run when no instruction commits for this many cycles
+    # (deadlock guard); default from REPRO_WATCHDOG_CYCLES, else 50000.
+    watchdog_cycles: int = field(default_factory=_default_watchdog_cycles)
 
     def __post_init__(self) -> None:
         if min(self.fetch_width, self.issue_width, self.commit_width) <= 0:
             raise ValueError("pipeline widths must be positive")
         if self.rob_entries <= 0 or self.issue_queue_entries <= 0:
             raise ValueError("window sizes must be positive")
+        if self.watchdog_cycles <= 0:
+            raise ValueError("watchdog_cycles must be positive")
 
 
 @dataclass(frozen=True)

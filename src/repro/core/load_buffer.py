@@ -79,6 +79,10 @@ class LoadBuffer:
                 slot.load_buffer_slot = -1
                 self._slots[index] = None
 
+    def slots(self) -> List[Optional[DynInst]]:
+        """Slot-indexed snapshot (copy), for white-box validation."""
+        return list(self._slots)
+
 
 class NilpTracker:
     """Program-order queue of loads realising the NILP / LIV walk.
@@ -133,6 +137,10 @@ class NilpTracker:
     def mark_ooo_issue(self, load: DynInst) -> None:
         load.ooo_issued = True
         self.ooo_in_flight += 1
+
+    def pending(self) -> List[DynInst]:
+        """Snapshot of the pending-load queue, for white-box validation."""
+        return list(self._pending)
 
     def on_squash(self, seq: int) -> None:
         """Adjust the OOO count for squashed loads (queue entries are

@@ -184,6 +184,10 @@ class SegmentedQueue:
     def occupied_segments(self) -> int:
         return sum(1 for seg in self._segments if seg)
 
+    def segment_contents(self) -> List[List]:
+        """Per-segment entry lists (copies), for white-box validation."""
+        return [list(segment) for segment in self._segments]
+
 
 class PortCalendar:
     """Cycle-by-cycle booking of per-segment search ports."""
@@ -237,3 +241,11 @@ class PortCalendar:
         stale = [key for key in self._used if key[1] < cycle]
         for key in stale:
             del self._used[key]
+
+    def overbooked(self) -> List[Tuple[int, int, int]]:
+        """Slots booked beyond capacity as ``(segment, cycle, used)``
+        triples — always empty unless the booking discipline is broken
+        (the invariant checker asserts exactly that)."""
+        return [(segment, cycle, used)
+                for (segment, cycle), used in self._used.items()
+                if used > self.ports]

@@ -28,10 +28,15 @@ class ExperimentRunner:
 
     def __init__(self, n_instructions: int = DEFAULT_INSTRUCTIONS,
                  seed: int = 0,
-                 benchmarks: Iterable[str] = ALL_BENCHMARKS) -> None:
+                 benchmarks: Iterable[str] = ALL_BENCHMARKS,
+                 validate: bool = False) -> None:
         self.n_instructions = n_instructions
         self.seed = seed
         self.benchmarks: Tuple[str, ...] = tuple(benchmarks)
+        #: Run every simulation under the memory-model oracle and
+        #: invariant checker (repro.validate) — slower, but any bench
+        #: built on this runner becomes a correctness smoke test.
+        self.validate = validate
         self._traces: Dict[str, Trace] = {}
         self._results: Dict[tuple, SimulationResult] = {}
 
@@ -44,7 +49,8 @@ class ExperimentRunner:
     def run(self, benchmark: str, machine: MachineConfig) -> SimulationResult:
         key = (benchmark, machine)
         if key not in self._results:
-            self._results[key] = simulate(self.trace(benchmark), machine)
+            self._results[key] = simulate(self.trace(benchmark), machine,
+                                          validate=self.validate)
         return self._results[key]
 
     def run_suite(self, machine: MachineConfig,

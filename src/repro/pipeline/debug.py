@@ -51,10 +51,18 @@ class InstRecord:
 
 
 class PipelineTracer:
-    """Records stage events for the first ``limit`` dynamic instructions."""
+    """Records stage events for ``limit`` dynamic instructions.
 
-    def __init__(self, limit: int = 512) -> None:
+    With ``rolling=False`` (default) the *first* ``limit`` instructions
+    are kept — the classic pipetrace of a run's start.  With
+    ``rolling=True`` the *most recent* ``limit`` instructions are kept
+    instead, which is what diagnostic bundles want: the window of
+    activity leading up to a failure.
+    """
+
+    def __init__(self, limit: int = 512, rolling: bool = False) -> None:
         self.limit = limit
+        self.rolling = rolling
         self.records: Dict[int, InstRecord] = {}
 
     def note(self, event: str, inst: DynInst, cycle: int) -> None:
@@ -62,7 +70,11 @@ class PipelineTracer:
         record = self.records.get(inst.seq)
         if record is None:
             if len(self.records) >= self.limit:
-                return
+                if not self.rolling:
+                    return
+                # Records are inserted in dispatch order, so the first
+                # key is always the oldest instruction.
+                self.records.pop(next(iter(self.records)))
             record = InstRecord(seq=inst.seq, pc=inst.pc,
                                 op=inst.inst.op.name)
             self.records[inst.seq] = record
@@ -84,6 +96,13 @@ class PipelineTracer:
     def squashed_seqs(self) -> List[int]:
         return [seq for seq, rec in self.records.items()
                 if rec.squash is not None]
+
+    def render_recent(self, count: int = 64) -> str:
+        """Pipetrace of the youngest ``count`` recorded instructions."""
+        if not self.records:
+            return "(no recorded instructions)"
+        seqs = sorted(self.records)[-count:]
+        return self.render(seqs[0], seqs[-1])
 
     # -- rendering -----------------------------------------------------------
 

@@ -39,9 +39,6 @@ from repro.stats.counters import SimStats
 from repro.workload.isa import NO_REG
 from repro.workload.trace import Trace
 
-#: Abort if no instruction commits for this many cycles (deadlock guard).
-WATCHDOG_CYCLES = 50_000
-
 
 @dataclass
 class SimulationResult:
@@ -60,8 +57,13 @@ class Processor:
     """One configured machine ready to run one trace."""
 
     def __init__(self, machine: MachineConfig,
-                 predictor_clear_interval: Optional[int] = None) -> None:
+                 predictor_clear_interval: Optional[int] = None,
+                 checker=None) -> None:
         self.machine = machine
+        #: Optional ValidationChecker (repro.validate) cross-checking
+        #: every committed load against the memory-model oracle and the
+        #: pipeline against its structural invariants.
+        self.checker = checker
         self.stats = SimStats()
         self.memory = MemoryHierarchy(machine.memory)
         kwargs = {}
@@ -150,16 +152,20 @@ class Processor:
             self.warm_caches(trace)
             self.warm_predictor(trace)
         self._trace = trace
+        if self.checker is not None:
+            self.checker.attach(self, trace)
+        watchdog = self.machine.core.watchdog_cycles
         while not self._finished():
             self.step()
             if max_cycles is not None and self.cycle >= max_cycles:
                 break
-            if self.cycle - self._last_commit_cycle > WATCHDOG_CYCLES:
-                raise RuntimeError(
-                    f"no commit for {WATCHDOG_CYCLES} cycles at cycle "
-                    f"{self.cycle} (trace {trace.name!r}); pipeline state: "
-                    f"rob={len(self.rob)}, iq={len(self.iq)}, "
-                    f"mem_stage={len(self._mem_stage)}")
+            if self.cycle - self._last_commit_cycle > watchdog:
+                from repro.validate.bundle import (SimulationDeadlock,
+                                                   build_bundle)
+                raise SimulationDeadlock(
+                    f"no commit for {watchdog} cycles at cycle "
+                    f"{self.cycle} (trace {trace.name!r})",
+                    bundle=build_bundle(self))
         self.stats.cycles = self.cycle
         return SimulationResult(trace.name, self.machine, self.stats)
 
@@ -178,6 +184,8 @@ class Processor:
         self._dispatch()
         self._fetch()
         self.lsq.sample()
+        if self.checker is not None:
+            self.checker.end_cycle()
         self.cycle += 1
 
     # ------------------------------------------------------------------
@@ -201,6 +209,8 @@ class Processor:
             self.regfile.release(head.inst.dest)
             if self.tracer is not None:
                 self.tracer.note("commit", head, self.cycle)
+            if self.checker is not None:
+                self.checker.on_commit(head)
             self._count_commit(head)
             self._last_commit_cycle = self.cycle
             self.lsq.maybe_clear_predictor(self.stats.committed)
@@ -284,6 +294,8 @@ class Processor:
                 self._mem_stage.pop(index)
                 inst.state = InstState.EXECUTING
                 self._schedule_completion(inst, self.cycle + outcome.latency)
+                if self.checker is not None:
+                    self.checker.on_load_executed(inst, outcome.violation)
                 if outcome.violation is not None:
                     self._recover(outcome.violation)
                     return
@@ -384,6 +396,8 @@ class Processor:
             self.iq.dispatch(inst)
             if inst.is_memory:
                 self.lsq.allocate(inst)
+                if self.checker is not None:
+                    self.checker.on_dispatch(inst)
             elif inst.inst.op.is_membar:
                 self.lsq.on_membar_dispatch(inst)
 
@@ -447,6 +461,8 @@ class Processor:
     def _recover(self, violation: Violation) -> None:
         """Squash from the violating instruction and replay."""
         seq = violation.squash_seq
+        if self.checker is not None:
+            self.checker.on_squash(seq, self.cycle)
         self.lsq.squash_from(seq)
         squashed = self.rob.squash_from(seq)  # youngest first
         in_queue = 0
@@ -492,12 +508,21 @@ class Processor:
 def simulate(trace: Trace, machine: MachineConfig,
              max_cycles: Optional[int] = None,
              predictor_clear_interval: Optional[int] = None,
-             warm: bool = True) -> SimulationResult:
+             warm: bool = True, validate: bool = False,
+             checker=None) -> SimulationResult:
     """Run ``trace`` on ``machine`` and return the statistics.
 
     ``warm`` pre-touches caches (see :meth:`Processor.warm_caches`);
-    disable it to study cold-start behaviour.
+    disable it to study cold-start behaviour.  ``validate=True`` runs
+    under the full memory-model oracle and cycle-level invariant
+    checker (see :mod:`repro.validate`), raising ``ValidationError`` on
+    the first discrepancy; pass an explicit ``checker`` to customise
+    (e.g. record-only mode for fault campaigns).
     """
+    if checker is None and validate:
+        from repro.validate import ValidationChecker
+        checker = ValidationChecker()
     processor = Processor(machine,
-                          predictor_clear_interval=predictor_clear_interval)
+                          predictor_clear_interval=predictor_clear_interval,
+                          checker=checker)
     return processor.run(trace, max_cycles=max_cycles, warm=warm)

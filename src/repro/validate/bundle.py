@@ -1,0 +1,183 @@
+"""Structured validation errors and the diagnostic bundle.
+
+Every failure the validation subsystem can raise — a memory-model
+mismatch from the oracle, a structural invariant violation, or the
+deadlock watchdog firing — carries a :class:`DiagnosticBundle`: the
+machine configuration, a pipetrace of the most recent instructions, the
+trace window around the failing instruction, and a one-line pipeline
+state summary.  ``bundle.format()`` is everything needed to reproduce
+and debug the failure from a cold start.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class ValidationFailure:
+    """One detected discrepancy (machine behaviour vs. the oracle)."""
+
+    kind: str                 # e.g. "stale-load", "invariant:rob-order"
+    cycle: int
+    seq: int = -1             # dynamic sequence number involved
+    trace_index: int = -1     # trace position involved
+    expected: object = None   # oracle's answer (store trace index / None)
+    observed: object = None   # what the machine actually did
+    message: str = ""
+
+    def format(self) -> str:
+        parts = [f"[{self.kind}] cycle {self.cycle}"]
+        if self.seq >= 0:
+            parts.append(f"seq {self.seq}")
+        if self.trace_index >= 0:
+            parts.append(f"trace index {self.trace_index}")
+        head = " ".join(parts)
+        detail = self.message
+        if self.expected is not None or self.observed is not None:
+            detail += (f" (expected source: {self._name(self.expected)}, "
+                       f"observed source: {self._name(self.observed)})")
+        return f"{head}: {detail}"
+
+    @staticmethod
+    def _name(source: object) -> str:
+        if source is None:
+            return "initial memory"
+        return f"store @trace[{source}]"
+
+
+class ValidationError(Exception):
+    """The simulator executed a memory operation incorrectly.
+
+    Raised by the :class:`~repro.validate.checker.ValidationChecker`
+    when a *committed* load observed a different store than the golden
+    in-order replay says it should have (``failure`` has the details,
+    ``bundle`` the reproduction context).
+    """
+
+    def __init__(self, message: str,
+                 failure: Optional[ValidationFailure] = None,
+                 bundle: Optional["DiagnosticBundle"] = None) -> None:
+        super().__init__(message)
+        self.failure = failure
+        self.bundle = bundle
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        if self.bundle is not None:
+            return f"{base}\n{self.bundle.format()}"
+        return base
+
+
+class InvariantViolation(ValidationError):
+    """A cycle-level structural invariant does not hold."""
+
+
+class SimulationDeadlock(RuntimeError):
+    """The watchdog fired: no instruction committed for too long."""
+
+    def __init__(self, message: str,
+                 bundle: Optional["DiagnosticBundle"] = None) -> None:
+        super().__init__(message)
+        self.bundle = bundle
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        if self.bundle is not None:
+            return f"{base}\n{self.bundle.format()}"
+        return base
+
+
+@dataclass
+class DiagnosticBundle:
+    """Everything needed to reproduce one failure."""
+
+    trace_name: str
+    cycle: int
+    machine_summary: str
+    pipeline_state: str
+    pipetrace: str
+    trace_window: str
+    failures: List[ValidationFailure] = field(default_factory=list)
+
+    def format(self) -> str:
+        lines = [
+            "================ diagnostic bundle ================",
+            f"trace:   {self.trace_name}",
+            f"cycle:   {self.cycle}",
+            f"machine: {self.machine_summary}",
+            f"state:   {self.pipeline_state}",
+        ]
+        if self.failures:
+            lines.append("failures:")
+            lines.extend(f"  {failure.format()}" for failure in self.failures)
+        lines.append("---- last-instruction pipetrace ----")
+        lines.append(self.pipetrace)
+        lines.append("---- trace window ----")
+        lines.append(self.trace_window)
+        lines.append("===================================================")
+        return "\n".join(lines)
+
+
+def _machine_summary(machine) -> str:
+    lsq = machine.lsq
+    shape = (f"{lsq.segments}x{lsq.segment_entries}" if lsq.segmented
+             else f"LQ{lsq.lq_entries}/SQ{lsq.sq_entries}")
+    return (f"{shape} ports={lsq.search_ports} "
+            f"predictor={lsq.predictor.value} lq_search={lsq.lq_search.value} "
+            f"load_buffer={lsq.load_buffer_entries} "
+            f"unified={lsq.unified_queue} "
+            f"width={machine.core.issue_width}")
+
+
+def _trace_window(trace, center: int, radius: int = 8) -> str:
+    if trace is None or not len(trace):
+        return "(no trace)"
+    center = min(max(center, 0), len(trace) - 1)
+    lo = max(center - radius, 0)
+    hi = min(center + radius + 1, len(trace))
+    lines = []
+    for index in range(lo, hi):
+        inst = trace[index]
+        marker = ">>" if index == center else "  "
+        mem = (f" addr={inst.addr:#x} size={inst.size}"
+               if inst.is_memory else "")
+        lines.append(f"{marker} [{index}] pc={inst.pc:#x} "
+                     f"{inst.op.name}{mem}")
+    return "\n".join(lines)
+
+
+def build_bundle(processor, seq: int = -1, trace_index: int = -1,
+                 failures: Optional[List[ValidationFailure]] = None
+                 ) -> DiagnosticBundle:
+    """Snapshot ``processor`` into a :class:`DiagnosticBundle`.
+
+    ``trace_index`` centres the trace window; when unknown it falls back
+    to the ROB head (the oldest unfinished instruction), then the fetch
+    pointer.
+    """
+    trace = processor._trace
+    if trace_index < 0:
+        head = processor.rob.head
+        trace_index = (head.trace_index if head is not None
+                       else processor._fetch_index)
+    if processor.tracer is not None:
+        pipetrace = processor.tracer.render_recent()
+    else:
+        pipetrace = "(no pipeline tracer attached)"
+    state = (f"rob={len(processor.rob)} iq={len(processor.iq)} "
+             f"mem_stage={len(processor._mem_stage)} "
+             f"lq={len(processor.lsq.lq)} sq={len(processor.lsq.sq)} "
+             f"last_commit_cycle={processor._last_commit_cycle}")
+    if seq >= 0:
+        state += f" failing_seq={seq}"
+    return DiagnosticBundle(
+        trace_name=trace.name if trace is not None else "(none)",
+        cycle=processor.cycle,
+        machine_summary=_machine_summary(processor.machine),
+        pipeline_state=state,
+        pipetrace=pipetrace,
+        trace_window=_trace_window(trace, trace_index),
+        failures=list(failures or ()),
+    )
