@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Run the full static-analysis gate: sim-lint plus the mypy strict gate.
+
+Usage::
+
+    PYTHONPATH=src python scripts/lint.py [--require-mypy]
+
+Runs, in order:
+
+1. ``repro lint`` (the simulator-aware analyzer of :mod:`repro.analyze`)
+   over ``src/repro``;
+2. ``mypy --strict`` over the strictly-typed subset (``repro.core`` and
+   ``repro.config``), when mypy is importable.
+
+mypy is an optional dependency (``pip install -e .[lint]``); without it
+step 2 is skipped with a notice, unless ``--require-mypy`` is given
+(CI passes it so the strict gate can never silently vanish).
+
+Exit status is nonzero when either gate fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Modules held to ``mypy --strict`` (the ISSUE's typing gate).
+STRICT_TARGETS = [
+    os.path.join("src", "repro", "core"),
+    os.path.join("src", "repro", "config.py"),
+]
+
+
+def run_sim_lint() -> int:
+    from repro.analyze.runner import run_lint
+
+    print("== sim-lint (repro.analyze) ==")
+    return run_lint([os.path.join(REPO_ROOT, "src", "repro")])
+
+
+def run_mypy(required: bool) -> int:
+    print("\n== mypy --strict ==")
+    try:
+        import mypy  # noqa: F401
+    except ImportError:
+        if required:
+            print("mypy is required (--require-mypy) but not installed; "
+                  "install with: pip install -e .[lint]")
+            return 1
+        print("mypy not installed; skipping the strict typing gate "
+              "(pip install -e .[lint] to enable)")
+        return 0
+    command = [sys.executable, "-m", "mypy", "--strict"] + STRICT_TARGETS
+    print(" ".join(command))
+    return subprocess.call(command, cwd=REPO_ROOT)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--require-mypy", action="store_true",
+                        help="fail (instead of skip) when mypy is missing")
+    args = parser.parse_args()
+
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    lint_status = run_sim_lint()
+    mypy_status = run_mypy(required=args.require_mypy)
+
+    if lint_status or mypy_status:
+        print("\nlint: FAILED")
+        return 1
+    print("\nlint: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,56 @@
+"""Simulator-aware static analysis (``repro lint``).
+
+Dynamic validation (:mod:`repro.validate`) catches ordering bugs *while
+a simulation runs*; this package catches the same hazard classes before
+any cycle is simulated, by walking the ASTs of ``src/repro`` with rules
+that know what a cycle-accurate simulator must and must not do.  QED and
+its descendants apply the same economics to memory-consistency checking:
+cheap static structure checks first, expensive dynamic ones second.
+
+Rule families
+-------------
+
+``SIM-D*`` **determinism** — unordered ``set``/``dict.keys()``/
+    ``.values()`` iteration feeding order-sensitive consumers, unseeded
+    ``random`` usage, and wall-clock/``id()``-derived ordering.  Any of
+    these silently breaks run-to-run reproducibility of issue/search
+    decisions.
+``SIM-M*`` **state-mutation discipline** — a pipeline stage or LSQ
+    component writing attributes (or touching privates) of a component
+    it does not own, outside the declared interface registry.  This is
+    the software analogue of the mid-cycle ordering hazards the paper's
+    LSQ techniques police in hardware.
+``SIM-C*`` **cycle/stats accounting** — :class:`~repro.stats.counters.
+    SimStats` counters that are incremented but never reported, or
+    reported but never incremented.
+``SIM-P*`` **port discipline** — LSQ search-port/cache-port bookings
+    without a dominating admission check, and admission verdicts whose
+    result is discarded.
+
+Suppressions
+------------
+
+Append ``# sim-lint: ignore[SIM-D002]`` to the offending line (or put
+the comment on its own line directly above) to acknowledge a finding;
+``# sim-lint: ignore`` suppresses every rule on that line.  A JSON
+baseline file (``--baseline`` / ``--write-baseline``) additionally lets
+a tree adopt the analyzer incrementally: only findings *not* in the
+baseline fail the build.
+
+Entry points: ``repro lint`` (CLI subcommand), ``python -m
+repro.analyze``, and ``scripts/lint.py`` (which also runs the mypy
+strict gate).  See ``docs/STATIC_ANALYSIS.md`` for the rule catalog.
+"""
+
+from repro.analyze.catalog import RULE_CATALOG, RuleInfo
+from repro.analyze.engine import Analysis, SourceModule, analyze_paths
+from repro.analyze.findings import Finding
+
+__all__ = [
+    "Analysis",
+    "Finding",
+    "RULE_CATALOG",
+    "RuleInfo",
+    "SourceModule",
+    "analyze_paths",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.analyze`` — same interface as ``repro lint``."""
+
+import sys
+
+from repro.analyze.runner import run_lint
+
+if __name__ == "__main__":
+    sys.exit(run_lint())

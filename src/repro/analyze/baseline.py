@@ -1,0 +1,44 @@
+"""JSON baseline: adopt the analyzer on a tree with pre-existing debt.
+
+A baseline is a JSON file mapping finding fingerprints
+(``rule::path::line``) to their messages.  ``repro lint --baseline
+file.json`` subtracts baselined findings from the report, so only *new*
+findings fail the build; ``--write-baseline file.json`` records the
+current findings as accepted debt.  The shipped tree carries no
+baseline — it lints clean — but downstream forks extending the
+simulator get an incremental adoption path.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analyze.findings import Finding
+
+
+def write_baseline(path: str, findings: Sequence[Finding]) -> None:
+    payload: Dict[str, str] = {
+        finding.fingerprint(): finding.message for finding in findings}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_baseline(path: str) -> Dict[str, str]:
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict):
+        raise ValueError(f"baseline {path!r} is not a JSON object")
+    return {str(key): str(value) for key, value in data.items()}
+
+
+def split_by_baseline(findings: Sequence[Finding],
+                      baseline: Dict[str, str],
+                      ) -> Tuple[List[Finding], List[Finding]]:
+    """Partition into (new, baselined) against ``baseline``."""
+    new: List[Finding] = []
+    old: List[Finding] = []
+    for finding in findings:
+        (old if finding.fingerprint() in baseline else new).append(finding)
+    return new, old

@@ -1,0 +1,106 @@
+"""Catalog of every rule the analyzer ships (``repro lint --list-rules``)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class RuleInfo:
+    family: str
+    title: str
+    rationale: str
+    fixit: str
+
+
+RULE_CATALOG: Dict[str, RuleInfo] = {
+    "SIM-D001": RuleInfo(
+        family="determinism",
+        title="iteration over an unordered set feeds an order-sensitive consumer",
+        rationale="set iteration order depends on insertion history and hash "
+                  "seeding; feeding it into a loop or list changes issue/"
+                  "search decisions between runs",
+        fixit="iterate sorted(the_set) or restructure around an ordered "
+              "container",
+    ),
+    "SIM-D002": RuleInfo(
+        family="determinism",
+        title="dict .keys()/.values() view feeds an order-sensitive consumer",
+        rationale="view iteration loses the key context needed to impose a "
+                  "deterministic order; list()/tuple()/for over a view bakes "
+                  "insertion order into results",
+        fixit="iterate sorted(d) / sorted(d.items()) or index by key",
+    ),
+    "SIM-D003": RuleInfo(
+        family="determinism",
+        title="randomness not routed through a seeded random.Random",
+        rationale="module-level random.* calls (and Random() without a seed) "
+                  "draw from global, unseeded state: two runs of the same "
+                  "configuration diverge",
+        fixit="construct random.Random(seed) and thread it explicitly",
+    ),
+    "SIM-D004": RuleInfo(
+        family="determinism",
+        title="wall-clock or id()-derived ordering",
+        rationale="time.* readings and CPython object ids vary run to run; "
+                  "any ordering or control flow derived from them is "
+                  "unreproducible",
+        fixit="derive ordering from simulation state (seq numbers, cycles)",
+    ),
+    "SIM-M001": RuleInfo(
+        family="state-mutation",
+        title="stage writes an attribute of a component it does not own",
+        rationale="a pipeline stage mutating another component's state "
+                  "mid-cycle reproduces the ordering hazards the LSQ "
+                  "techniques police in hardware; mutations must go through "
+                  "the owning component's methods or a declared interface",
+        fixit="add a method on the owning component, or declare the "
+              "component in the interface registry "
+              "(module-level SIM_LINT_INTERFACES)",
+    ),
+    "SIM-M002": RuleInfo(
+        family="state-mutation",
+        title="cross-component access to a private member",
+        rationale="reaching into another component's _private state couples "
+                  "stages to representation details and invites mid-cycle "
+                  "mutation",
+        fixit="expose the needed query as a public method on the component",
+    ),
+    "SIM-C001": RuleInfo(
+        family="stats-accounting",
+        title="SimStats counter incremented but never reported",
+        rationale="a counter that no report, derived metric, or analysis "
+                  "ever reads is dead weight at best and a silently "
+                  "forgotten metric at worst",
+        fixit="surface the counter in stats reporting (or delete it)",
+    ),
+    "SIM-C002": RuleInfo(
+        family="stats-accounting",
+        title="SimStats counter reported but never incremented",
+        rationale="a reported counter that nothing increments reads as a "
+                  "permanently-zero metric: either the instrumentation was "
+                  "dropped or the report lies",
+        fixit="add the missing increment on the event path (or delete the "
+              "counter)",
+    ),
+    "SIM-P001": RuleInfo(
+        family="port-discipline",
+        title="port booking without a dominating admission check",
+        rationale="reserve()/reserve_path()/try_reserve*() on another "
+                  "component without first consulting "
+                  "available()/check_path()/free_ports() (or an _admit* "
+                  "helper) can overbook a port slot or mask a structural "
+                  "hazard",
+        fixit="gate the booking on an admission check in the same function",
+    ),
+    "SIM-P002": RuleInfo(
+        family="port-discipline",
+        title="admission verdict discarded",
+        rationale="calling available()/check_path()/try_reserve*() as a bare "
+                  "statement throws the verdict away: a denial goes "
+                  "unnoticed and the caller proceeds as if admitted",
+        fixit="branch on the returned verdict (or suppress with a comment "
+              "explaining why the slot is pre-admitted)",
+    ),
+}

@@ -1,0 +1,188 @@
+"""Analysis driver: source loading, parent maps, suppressions, rules.
+
+The engine parses every ``*.py`` under the requested paths once, builds
+an AST parent map per module (rules need to ask "what consumes this
+node?"), extracts ``# sim-lint: ignore[...]`` suppressions from the
+source text, and hands the whole corpus to each rule — cross-module
+rules (the SIM-C counter accounting) see every module at once.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.analyze.findings import Finding
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*sim-lint:\s*ignore(?:\[([A-Za-z0-9_,\s\-]+)\])?")
+
+
+@dataclass
+class SourceModule:
+    """One parsed source file plus the lookup tables rules need."""
+
+    path: str                   # display path (posix separators)
+    text: str
+    tree: ast.Module
+    #: line -> suppressed rule ids; empty set means "all rules".
+    suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+    #: standalone-comment suppression lines (apply to the next line).
+    comment_only_lines: Set[int] = field(default_factory=set)
+    parents: Dict[ast.AST, ast.AST] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: str, display_path: str) -> "SourceModule":
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        tree = ast.parse(text, filename=display_path)
+        module = cls(path=display_path, text=text, tree=tree)
+        module._index()
+        return module
+
+    def _index(self) -> None:
+        for lineno, line in enumerate(self.text.splitlines(), start=1):
+            match = _SUPPRESS_RE.search(line)
+            if not match:
+                continue
+            rules = match.group(1)
+            ids = (set(part.strip() for part in rules.split(",") if part.strip())
+                   if rules else set())
+            self.suppressions[lineno] = ids
+            if line.lstrip().startswith("#"):
+                self.comment_only_lines.add(lineno)
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self.parents[child] = parent
+
+    # -- queries rules use --------------------------------------------------
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self.parents.get(node)
+
+    def parent_chain(self, node: ast.AST) -> Iterable[ast.AST]:
+        current = self.parents.get(node)
+        while current is not None:
+            yield current
+            current = self.parents.get(current)
+
+    def in_scope(self, *segments: str) -> bool:
+        """True when the module path contains any of ``segments`` as a
+        path component (e.g. ``in_scope("core", "pipeline")``)."""
+        parts = self.path.replace("\\", "/").split("/")
+        return any(segment in parts for segment in segments)
+
+    def suppressed(self, finding: Finding) -> bool:
+        for line in (finding.line, finding.line - 1):
+            ids = self.suppressions.get(line)
+            if ids is None:
+                continue
+            if line == finding.line - 1 and line not in self.comment_only_lines:
+                continue  # trailing comment on the previous line of code
+            if not ids or finding.rule in ids:
+                return True
+        return False
+
+
+class Analysis:
+    """The full corpus under analysis plus rule orchestration."""
+
+    def __init__(self, modules: Sequence[SourceModule]) -> None:
+        self.modules = list(modules)
+
+    @classmethod
+    def from_paths(cls, paths: Sequence[str],
+                   root: Optional[str] = None) -> "Analysis":
+        root = root or os.getcwd()
+        files: List[str] = []
+        for path in paths:
+            if os.path.isfile(path):
+                files.append(path)
+                continue
+            for directory, __, names in sorted(os.walk(path)):
+                for name in sorted(names):
+                    if name.endswith(".py"):
+                        files.append(os.path.join(directory, name))
+        modules = []
+        for file_path in sorted(set(files)):
+            display = os.path.relpath(file_path, start=root)
+            display = display.replace(os.sep, "/")
+            if display.startswith("../"):
+                display = file_path.replace(os.sep, "/")
+            modules.append(SourceModule.load(file_path, display))
+        return cls(modules)
+
+    def run(self) -> List[Finding]:
+        """Run every rule family; return unsuppressed findings sorted."""
+        from repro.analyze import (rules_counters, rules_determinism,
+                                   rules_mutation, rules_ports)
+        findings: List[Finding] = []
+        for rule_module in (rules_determinism, rules_mutation,
+                            rules_counters, rules_ports):
+            findings.extend(rule_module.check(self))
+        by_path = {module.path: module for module in self.modules}
+        kept = [finding for finding in findings
+                if not by_path[finding.path].suppressed(finding)]
+        kept.sort(key=lambda f: (f.path, f.line, f.column, f.rule))
+        return kept
+
+
+def analyze_paths(paths: Sequence[str],
+                  root: Optional[str] = None) -> List[Finding]:
+    """Convenience wrapper: parse ``paths`` and run every rule."""
+    return Analysis.from_paths(paths, root=root).run()
+
+
+# -- shared AST helpers ----------------------------------------------------
+
+def call_name(node: ast.AST) -> Optional[str]:
+    """The trailing name of a call target: ``a.b.c()`` -> ``"c"``."""
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def receiver_is_bare_self(node: ast.Call) -> bool:
+    """True for ``self.method(...)`` (component-internal calls)."""
+    func = node.func
+    return (isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "self")
+
+
+def functions_of(tree: ast.Module) -> List[ast.AST]:
+    """Every function/method definition in the module (plus the module
+    itself, so top-level code is analysed under the same rules)."""
+    out: List[ast.AST] = [tree]
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            out.append(node)
+    return out
+
+
+def local_statements(func: ast.AST) -> List[ast.stmt]:
+    """Statements belonging to ``func`` but not to nested functions."""
+    out: List[ast.stmt] = []
+    body = getattr(func, "body", [])
+    stack = list(body)
+    while stack:
+        stmt = stack.pop()
+        out.append(stmt)
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef)):
+                continue
+            if isinstance(child, ast.stmt):
+                stack.append(child)
+            else:
+                stack.extend(grand for grand in ast.walk(child)
+                             if isinstance(grand, ast.stmt))
+    return out

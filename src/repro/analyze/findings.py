@@ -1,0 +1,27 @@
+"""The :class:`Finding` record every rule emits."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule hit, anchored to a file:line:column."""
+
+    rule: str       # e.g. "SIM-D002"
+    path: str       # path as given to the analyzer (posix separators)
+    line: int       # 1-based
+    column: int     # 0-based, as in the ast module
+    message: str
+    fixit: str = ""
+
+    def format(self, show_fixit: bool = True) -> str:
+        text = f"{self.path}:{self.line}:{self.column}: {self.rule} {self.message}"
+        if show_fixit and self.fixit:
+            text += f"\n    fix: {self.fixit}"
+        return text
+
+    def fingerprint(self) -> str:
+        """Stable identity used by the baseline mechanism."""
+        return f"{self.rule}::{self.path}::{self.line}"

@@ -1,0 +1,118 @@
+"""SIM-C: cycle/stats accounting — counters must both count and report.
+
+This is the one cross-module family: it keys on the ``SimStats`` class
+(every numeric field declared there is a counter contract) and then
+scans the *entire* corpus for writes (``stats.x += 1`` on event paths)
+and reads (reports, derived metrics, analysis code).
+
+``SIM-C001``: a counter with no read anywhere — the event is diligently
+counted and then silently dropped on the floor.  Either a report was
+never written or the metric was abandoned; both look identical to a
+user trusting the stats output to be complete.
+
+``SIM-C002``: a counter with reads but no write outside its declaration
+— the report prints a permanently-zero value, which is worse than no
+value because it asserts "this never happened".
+
+Both findings anchor to the field's declaration line in the module that
+defines ``SimStats``, so a suppression there documents the exemption
+next to the contract itself.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Tuple
+
+from repro.analyze.catalog import RULE_CATALOG
+from repro.analyze.engine import Analysis, SourceModule
+from repro.analyze.findings import Finding
+
+#: Class whose numeric fields define the counter contract.
+STATS_CLASS = "SimStats"
+
+#: Annotations treated as counters.  Container fields (dicts of
+#: histograms etc.) mutate through methods, which this pass cannot
+#: attribute reliably, so they are out of scope.
+_COUNTER_ANNOTATIONS = {"int", "float"}
+
+
+def _finding(module: SourceModule, node: ast.AST, rule: str,
+             message: str) -> Finding:
+    return Finding(rule=rule, path=module.path,
+                   line=getattr(node, "lineno", 1),
+                   column=getattr(node, "col_offset", 0),
+                   message=message, fixit=RULE_CATALOG[rule].fixit)
+
+
+def _stats_fields(analysis: Analysis) -> Tuple[Optional[SourceModule],
+                                               Dict[str, ast.AnnAssign]]:
+    """The module defining ``SimStats`` and its counter declarations."""
+    for module in analysis.modules:
+        for node in module.tree.body:
+            if isinstance(node, ast.ClassDef) and node.name == STATS_CLASS:
+                fields: Dict[str, ast.AnnAssign] = {}
+                for stmt in node.body:
+                    if not isinstance(stmt, ast.AnnAssign):
+                        continue
+                    if not isinstance(stmt.target, ast.Name):
+                        continue
+                    annotation = stmt.annotation
+                    if isinstance(annotation, ast.Name) and \
+                            annotation.id in _COUNTER_ANNOTATIONS:
+                        fields[stmt.target.id] = stmt
+                return module, fields
+    return None, {}
+
+
+def _attribute_name(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def check(analysis: Analysis) -> List[Finding]:
+    stats_module, fields = _stats_fields(analysis)
+    if stats_module is None or not fields:
+        return []
+
+    writes: Dict[str, int] = {name: 0 for name in fields}
+    reads: Dict[str, int] = {name: 0 for name in fields}
+
+    for module in analysis.modules:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.AugAssign):
+                name = _attribute_name(node.target)
+                if name in writes:
+                    writes[name] += 1
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    name = _attribute_name(target)
+                    if name in writes:
+                        writes[name] += 1
+            elif isinstance(node, ast.Attribute) and \
+                    isinstance(node.ctx, ast.Load):
+                name = node.attr
+                if name in reads:
+                    # Ignore the read half of `stats.x += 1`: an
+                    # AugAssign target is both Load-adjacent and a
+                    # write, but ast marks it Store, so plain Loads
+                    # here are genuine consumption.
+                    reads[name] += 1
+
+    findings: List[Finding] = []
+    for name in sorted(fields):
+        declaration = fields[name]
+        if reads[name] == 0:
+            detail = ("incremented but never read by any report or "
+                      "derived metric" if writes[name] else
+                      "never incremented and never read")
+            findings.append(_finding(
+                stats_module, declaration, "SIM-C001",
+                f"SimStats counter '{name}' is {detail}"))
+        elif writes[name] == 0:
+            findings.append(_finding(
+                stats_module, declaration, "SIM-C002",
+                f"SimStats counter '{name}' is reported but nothing ever "
+                "increments it; the report shows a permanent zero"))
+    return findings

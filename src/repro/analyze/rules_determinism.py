@@ -1,0 +1,279 @@
+"""SIM-D: run-to-run determinism rules.
+
+A cycle-accurate simulator must produce bit-identical statistics for
+identical (trace, config, seed) inputs — it is the property every test,
+calibration, and A/B experiment in this repo leans on.  The three ways
+Python code silently loses it:
+
+* iterating an *unordered* container (``set``, ``dict.keys()``,
+  ``dict.values()``) into an order-sensitive consumer — ``SIM-D001`` /
+  ``SIM-D002``;
+* drawing randomness from the global ``random`` module instead of a
+  seeded ``random.Random`` instance — ``SIM-D003``;
+* deriving ordering (sort keys, comparisons) from wall-clock time or
+  CPython ``id()`` values — ``SIM-D004``.
+
+``dict.items()`` iteration is deliberately *not* flagged: items carry
+their keys, so downstream code can (and the fix-it for D002 says to)
+impose a deterministic order; and CPython dicts iterate in insertion
+order, which is reproducible for identical inputs.  The views flagged
+here are the ones that drop the key context entirely.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from repro.analyze.catalog import RULE_CATALOG
+from repro.analyze.engine import Analysis, SourceModule, functions_of
+from repro.analyze.findings import Finding
+
+#: Builtins whose result does not depend on argument iteration order.
+ORDER_INSENSITIVE = {"sorted", "sum", "min", "max", "any", "all", "len",
+                     "set", "frozenset", "dict", "Counter"}
+#: Builtins that bake the iteration order into their result.
+ORDER_SENSITIVE = {"list", "tuple"}
+
+#: time-module functions that read the wall clock / CPU clock.
+WALL_CLOCK = {"time", "time_ns", "perf_counter", "perf_counter_ns",
+              "monotonic", "monotonic_ns", "process_time",
+              "process_time_ns"}
+
+_ORDERING_OPS = (ast.Lt, ast.Gt, ast.LtE, ast.GtE)
+
+
+def _finding(module: SourceModule, node: ast.AST, rule: str,
+             message: str) -> Finding:
+    return Finding(rule=rule, path=module.path,
+                   line=getattr(node, "lineno", 1),
+                   column=getattr(node, "col_offset", 0),
+                   message=message, fixit=RULE_CATALOG[rule].fixit)
+
+
+def _callee(node: ast.Call) -> Optional[str]:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset"))
+
+
+def _walk_scope(func: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``func`` without descending into nested function scopes.
+
+    ``functions_of`` yields the module *and* every function, so each
+    scope must own its nodes exclusively or findings double-report.
+    """
+    stack: List[ast.AST] = [func]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            stack.append(child)
+
+
+def _set_names(func: ast.AST) -> Set[str]:
+    """Names assigned a set expression in ``func``'s own scope."""
+    names: Set[str] = set()
+    for node in _walk_scope(func):
+        if isinstance(node, ast.Assign) and _is_set_expr(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None \
+                and _is_set_expr(node.value) \
+                and isinstance(node.target, ast.Name):
+            names.add(node.target.id)
+    return names
+
+
+def _consumption_verdict(module: SourceModule, node: ast.AST) -> str:
+    """How an unordered iterable at ``node`` is consumed.
+
+    Returns ``"flag"`` (order-sensitive), ``"ok"`` (order-insensitive),
+    or ``"unknown"`` (conservatively not reported).
+    """
+    parent = module.parent(node)
+    if isinstance(parent, (ast.For, ast.AsyncFor)) and parent.iter is node:
+        return "flag"
+    if isinstance(parent, ast.comprehension) and parent.iter is node:
+        comp = module.parent(parent)
+        if isinstance(comp, (ast.SetComp, ast.DictComp)):
+            return "ok"
+        consumer = module.parent(comp) if comp is not None else None
+        if isinstance(consumer, ast.Call):
+            name = _callee(consumer)
+            if name in ORDER_INSENSITIVE:
+                return "ok"
+            if name in ORDER_SENSITIVE:
+                return "flag"
+            return "flag" if isinstance(comp, ast.ListComp) else "unknown"
+        return "flag" if isinstance(comp, ast.ListComp) else "unknown"
+    if isinstance(parent, ast.Call) and node in parent.args:
+        name = _callee(parent)
+        if name in ORDER_INSENSITIVE:
+            return "ok"
+        if name in ORDER_SENSITIVE:
+            return "flag"
+        return "unknown"
+    if isinstance(parent, ast.Compare):
+        return "ok"            # membership test: order-free
+    if isinstance(parent, ast.Starred):
+        return "flag"          # *view unpacks in iteration order
+    return "unknown"
+
+
+def _check_set_iteration(module: SourceModule) -> Iterator[Finding]:
+    for func in functions_of(module.tree):
+        known_sets = _set_names(func)
+        for node in _walk_scope(func):
+            target: Optional[ast.AST] = None
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                target = node.iter
+            elif isinstance(node, ast.comprehension):
+                target = node.iter
+            if target is None:
+                continue
+            is_set = _is_set_expr(target) or (
+                isinstance(target, ast.Name) and target.id in known_sets)
+            if not is_set:
+                continue
+            if _consumption_verdict(module, target) == "ok" and \
+                    isinstance(node, ast.comprehension):
+                continue
+            if isinstance(node, ast.comprehension):
+                comp = module.parent(node)
+                if isinstance(comp, (ast.SetComp, ast.DictComp)):
+                    continue
+                verdict = _consumption_verdict(module, target)
+                if verdict != "flag":
+                    continue
+            yield _finding(
+                module, target, "SIM-D001",
+                "iteration over an unordered set reaches an order-sensitive "
+                "consumer; issue/search decisions derived from it differ "
+                "between runs")
+
+
+def _check_dict_views(module: SourceModule) -> Iterator[Finding]:
+    for node in ast.walk(module.tree):
+        if not (isinstance(node, ast.Call) and not node.args
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("keys", "values")):
+            continue
+        if _consumption_verdict(module, node) != "flag":
+            continue
+        yield _finding(
+            module, node, "SIM-D002",
+            f"dict .{node.func.attr}() view feeds an order-sensitive "
+            "consumer; the result order is the dict's insertion history, "
+            "not a deterministic key order")
+
+
+def _random_import_aliases(module: SourceModule) -> Set[str]:
+    aliases: Set[str] = set()
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "random":
+            for alias in node.names:
+                if alias.name != "Random":
+                    aliases.add(alias.asname or alias.name)
+    return aliases
+
+
+def _check_random(module: SourceModule) -> Iterator[Finding]:
+    from_aliases = _random_import_aliases(module)
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Attribute) and \
+                isinstance(func.value, ast.Name) and func.value.id == "random":
+            if func.attr == "Random":
+                if not node.args and not node.keywords:
+                    yield _finding(
+                        module, node, "SIM-D003",
+                        "random.Random() constructed without a seed draws "
+                        "from OS entropy; two runs diverge")
+            else:
+                yield _finding(
+                    module, node, "SIM-D003",
+                    f"random.{func.attr}() uses the global unseeded RNG; "
+                    "route randomness through a seeded random.Random")
+        elif isinstance(func, ast.Name) and func.id in from_aliases:
+            yield _finding(
+                module, node, "SIM-D003",
+                f"{func.id}() (imported from random) uses the global "
+                "unseeded RNG; route randomness through a seeded "
+                "random.Random")
+
+
+def _is_wall_clock_call(node: ast.Call) -> Optional[str]:
+    func = node.func
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        if func.value.id == "time" and func.attr in WALL_CLOCK:
+            return f"time.{func.attr}()"
+    if isinstance(func, ast.Attribute) and \
+            func.attr in ("now", "utcnow", "today"):
+        base = func.value
+        base_name = base.attr if isinstance(base, ast.Attribute) else (
+            base.id if isinstance(base, ast.Name) else None)
+        if base_name in ("datetime", "date"):
+            return f"{base_name}.{func.attr}()"
+    return None
+
+
+def _check_wall_clock_and_id(module: SourceModule) -> Iterator[Finding]:
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Call):
+            clock = _is_wall_clock_call(node)
+            if clock is not None:
+                yield _finding(
+                    module, node, "SIM-D004",
+                    f"{clock} reads the wall clock; simulator state derived "
+                    "from it varies between runs")
+                continue
+            if isinstance(node.func, ast.Name) and node.func.id == "id" \
+                    and _id_feeds_ordering(module, node):
+                yield _finding(
+                    module, node, "SIM-D004",
+                    "id() feeds an ordering decision; CPython object "
+                    "addresses change run to run")
+        elif isinstance(node, ast.keyword) and node.arg == "key" \
+                and isinstance(node.value, ast.Name) \
+                and node.value.id == "id":
+            yield _finding(
+                module, node.value, "SIM-D004",
+                "key=id sorts by CPython object address, which changes "
+                "run to run")
+
+
+def _id_feeds_ordering(module: SourceModule, node: ast.Call) -> bool:
+    for ancestor in module.parent_chain(node):
+        if isinstance(ancestor, ast.keyword) and ancestor.arg == "key":
+            return True
+        if isinstance(ancestor, ast.Compare) and \
+                any(isinstance(op, _ORDERING_OPS) for op in ancestor.ops):
+            return True
+        if isinstance(ancestor, ast.stmt):
+            return False
+    return False
+
+
+def check(analysis: Analysis) -> List[Finding]:
+    findings: List[Finding] = []
+    for module in analysis.modules:
+        findings.extend(_check_set_iteration(module))
+        findings.extend(_check_dict_views(module))
+        findings.extend(_check_random(module))
+        findings.extend(_check_wall_clock_and_id(module))
+    return findings

@@ -1,0 +1,133 @@
+"""SIM-M: state-mutation discipline for pipeline stages and components.
+
+The paper's whole subject is the hazards that arise when multiple agents
+touch shared load/store state in the same cycle.  The software analogue:
+a stage method reaching *through* a component reference and writing its
+attributes directly (``self.lsq.head = ...``) instead of calling a
+method the owning component exposes.  Such writes bypass the owner's
+invariants, are invisible to the validation layer, and make the
+cross-cycle mutation order an accident of call sites.
+
+``SIM-M001`` flags ``self.<component>.<attr> = ...`` (and ``+=`` etc.)
+outside ``__init__`` unless the component is in the interface registry:
+the built-in :data:`MUTABLE_INTERFACES` (stats and tracing are
+write-from-anywhere by design) plus any names a module declares in a
+module-level ``SIM_LINT_INTERFACES = {"..."}`` set.
+
+``SIM-M002`` flags any touch (read *or* write) of ``self.<component>.
+_private`` — representation details stay inside the owning class.
+
+Construction-time wiring in ``__init__`` is exempt from M001: handing a
+sub-component its collaborators is ownership transfer, not a mid-cycle
+mutation.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from repro.analyze.catalog import RULE_CATALOG
+from repro.analyze.engine import Analysis, SourceModule
+from repro.analyze.findings import Finding
+
+#: Components any stage may write without declaring an interface:
+#: statistics counters and tracers exist to be poked from everywhere.
+MUTABLE_INTERFACES = {"stats", "tracer", "trace"}
+
+#: Name of the module-level registry a module can declare to extend
+#: :data:`MUTABLE_INTERFACES` for its own code.
+REGISTRY_NAME = "SIM_LINT_INTERFACES"
+
+
+def _finding(module: SourceModule, node: ast.AST, rule: str,
+             message: str) -> Finding:
+    return Finding(rule=rule, path=module.path,
+                   line=getattr(node, "lineno", 1),
+                   column=getattr(node, "col_offset", 0),
+                   message=message, fixit=RULE_CATALOG[rule].fixit)
+
+
+def _declared_interfaces(module: SourceModule) -> Set[str]:
+    """Names in a module-level ``SIM_LINT_INTERFACES = {...}`` literal."""
+    declared: Set[str] = set()
+    for stmt in module.tree.body:
+        if not (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1):
+            continue
+        target = stmt.targets[0]
+        if not (isinstance(target, ast.Name) and target.id == REGISTRY_NAME):
+            continue
+        value = stmt.value
+        if isinstance(value, ast.Call):        # frozenset({...})
+            value = value.args[0] if value.args else value
+        if isinstance(value, (ast.Set, ast.List, ast.Tuple)):
+            for element in value.elts:
+                if isinstance(element, ast.Constant) and \
+                        isinstance(element.value, str):
+                    declared.add(element.value)
+    return declared
+
+
+def _component_of(node: ast.Attribute) -> Optional[str]:
+    """``self.<comp>.<attr>`` -> ``comp``; anything else -> None."""
+    value = node.value
+    while isinstance(value, ast.Attribute):
+        inner = value.value
+        if isinstance(inner, ast.Name) and inner.id == "self":
+            return value.attr
+        value = inner
+    return None
+
+
+def _enclosing_function_name(module: SourceModule,
+                             node: ast.AST) -> Optional[str]:
+    for ancestor in module.parent_chain(node):
+        if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return ancestor.name
+    return None
+
+
+def _check_foreign_writes(module: SourceModule,
+                          registry: Set[str]) -> Iterator[Finding]:
+    for node in ast.walk(module.tree):
+        if not (isinstance(node, ast.Attribute)
+                and isinstance(node.ctx, ast.Store)):
+            continue
+        component = _component_of(node)
+        if component is None or component in registry:
+            continue
+        if _enclosing_function_name(module, node) == "__init__":
+            continue
+        yield _finding(
+            module, node, "SIM-M001",
+            f"writes '{node.attr}' on 'self.{component}', a component this "
+            "stage does not own; mutations must go through the owner's "
+            "methods or a declared interface")
+
+
+def _check_private_access(module: SourceModule) -> Iterator[Finding]:
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Attribute):
+            continue
+        name = node.attr
+        if not name.startswith("_") or name.startswith("__"):
+            continue
+        component = _component_of(node)
+        if component is None:
+            continue
+        verb = "writes" if isinstance(node.ctx, ast.Store) else "reads"
+        yield _finding(
+            module, node, "SIM-M002",
+            f"{verb} private member '{name}' of 'self.{component}'; expose "
+            "a public method on the component instead")
+
+
+def check(analysis: Analysis) -> List[Finding]:
+    findings: List[Finding] = []
+    for module in analysis.modules:
+        if not module.in_scope("core", "pipeline"):
+            continue
+        registry = MUTABLE_INTERFACES | _declared_interfaces(module)
+        findings.extend(_check_foreign_writes(module, registry))
+        findings.extend(_check_private_access(module))
+    return findings

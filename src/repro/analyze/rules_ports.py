@@ -1,0 +1,98 @@
+"""SIM-P: search-port and cache-port booking discipline.
+
+The LSQ model meters CAM search bandwidth through a
+:class:`~repro.core.queues.PortCalendar`: callers are supposed to *ask*
+(``available()`` / ``check_path()`` / ``free_ports()``) before they
+*book* (``reserve()`` / ``reserve_path()`` / ``try_reserve*()``).  The
+two ways call sites get this wrong:
+
+``SIM-P001`` — an unconditional booking (``reserve`` / ``reserve_path``)
+on another component with no admission check anywhere earlier in the
+same function.  Overbooks a port slot, or books a slot a structural
+hazard should have denied.
+
+``SIM-P002`` — an admission-style call (``available``, ``check_path``,
+``try_reserve*``) used as a bare expression statement, discarding the
+verdict.  A denial goes unnoticed and the caller proceeds as if
+admitted.  Where the slot is genuinely pre-admitted (a prior
+``available()`` under the same cycle lock), suppress with a comment
+saying so.
+
+Bookings on ``self`` itself are exempt from P001: a component managing
+its own calendar is the owner enforcing the discipline, not a client
+bypassing it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.analyze.catalog import RULE_CATALOG
+from repro.analyze.engine import (Analysis, SourceModule, call_name,
+                                  functions_of, receiver_is_bare_self)
+from repro.analyze.findings import Finding
+
+#: Unconditional bookings: must be dominated by an admission check.
+BOOKING_CALLS = {"reserve", "reserve_path"}
+
+#: Admission checks / conditional bookings whose verdict matters.
+ADMISSION_CALLS = {"available", "check_path", "free_ports"}
+ADMISSION_PREFIXES = ("try_reserve", "_admit")
+
+
+def _finding(module: SourceModule, node: ast.AST, rule: str,
+             message: str) -> Finding:
+    return Finding(rule=rule, path=module.path,
+                   line=getattr(node, "lineno", 1),
+                   column=getattr(node, "col_offset", 0),
+                   message=message, fixit=RULE_CATALOG[rule].fixit)
+
+
+def _is_admission_name(name: str) -> bool:
+    return name in ADMISSION_CALLS or name.startswith(ADMISSION_PREFIXES)
+
+
+def _check_function(module: SourceModule, func: ast.AST) -> Iterator[Finding]:
+    calls = [node for node in ast.walk(func) if isinstance(node, ast.Call)]
+    admission_lines = [node.lineno for node in calls
+                       if call_name(node) is not None
+                       and _is_admission_name(call_name(node) or "")]
+    for node in calls:
+        name = call_name(node)
+        if name in BOOKING_CALLS and not receiver_is_bare_self(node):
+            dominated = any(line <= node.lineno for line in admission_lines)
+            if not dominated:
+                yield _finding(
+                    module, node, "SIM-P001",
+                    f"'{name}()' books a port with no admission check "
+                    "(available/check_path/free_ports/try_reserve*) earlier "
+                    "in this function; the booking can overbook a slot or "
+                    "mask a structural hazard")
+
+
+def _check_discarded_verdicts(module: SourceModule) -> Iterator[Finding]:
+    for node in ast.walk(module.tree):
+        if not (isinstance(node, ast.Expr)
+                and isinstance(node.value, ast.Call)):
+            continue
+        name = call_name(node.value)
+        if name is None or not _is_admission_name(name):
+            continue
+        yield _finding(
+            module, node.value, "SIM-P002",
+            f"the verdict of '{name}()' is discarded; a denied admission "
+            "goes unnoticed and the caller proceeds as if admitted")
+
+
+def check(analysis: Analysis) -> List[Finding]:
+    findings: List[Finding] = []
+    for module in analysis.modules:
+        if not module.in_scope("core", "pipeline", "memory"):
+            continue
+        for func in functions_of(module.tree):
+            if isinstance(func, ast.Module):
+                continue
+            findings.extend(_check_function(module, func))
+        findings.extend(_check_discarded_verdicts(module))
+    return findings

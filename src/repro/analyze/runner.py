@@ -1,0 +1,105 @@
+"""Command-line front end shared by ``repro lint`` and ``python -m
+repro.analyze``."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analyze.baseline import (load_baseline, split_by_baseline,
+                                    write_baseline)
+from repro.analyze.catalog import RULE_CATALOG
+from repro.analyze.engine import analyze_paths
+
+
+def default_target() -> str:
+    """The installed ``repro`` package tree (what CI lints)."""
+    import repro
+    return os.path.dirname(os.path.abspath(repro.__file__))
+
+
+def build_parser(parser: Optional[argparse.ArgumentParser] = None,
+                 ) -> argparse.ArgumentParser:
+    if parser is None:
+        parser = argparse.ArgumentParser(
+            prog="repro lint",
+            description="Simulator-aware static analysis over repro sources.")
+    parser.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to analyze (default: the repro package)")
+    parser.add_argument(
+        "--baseline", metavar="FILE",
+        help="JSON baseline; findings recorded there do not fail the run")
+    parser.add_argument(
+        "--write-baseline", metavar="FILE",
+        help="record current findings as the accepted baseline and exit 0")
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit findings as a JSON array instead of text")
+    parser.add_argument(
+        "--no-fixit", action="store_true",
+        help="omit fix-it hints from text output")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit")
+    return parser
+
+
+def _print_catalog() -> None:
+    family = ""
+    for rule_id in sorted(RULE_CATALOG):
+        info = RULE_CATALOG[rule_id]
+        if info.family != family:
+            family = info.family
+            print(f"[{family}]")
+        print(f"  {rule_id}  {info.title}")
+        print(f"           why: {info.rationale}")
+        print(f"           fix: {info.fixit}")
+
+
+def run_lint(argv: Optional[Sequence[str]] = None,
+             namespace: Optional[argparse.Namespace] = None) -> int:
+    """Run the analyzer; returns the process exit code (0 = clean)."""
+    args = namespace if namespace is not None else \
+        build_parser().parse_args(list(argv) if argv is not None else None)
+
+    if args.list_rules:
+        _print_catalog()
+        return 0
+
+    paths: List[str] = list(args.paths) or [default_target()]
+    for path in paths:
+        if not os.path.exists(path):
+            print(f"repro lint: no such path: {path}", file=sys.stderr)
+            return 2
+
+    findings = analyze_paths(paths)
+
+    if args.write_baseline:
+        write_baseline(args.write_baseline, findings)
+        print(f"wrote baseline with {len(findings)} finding(s) to "
+              f"{args.write_baseline}")
+        return 0
+
+    baselined_count = 0
+    if args.baseline:
+        baseline = load_baseline(args.baseline)
+        findings, baselined = split_by_baseline(findings, baseline)
+        baselined_count = len(baselined)
+
+    if args.as_json:
+        print(json.dumps([{
+            "rule": f.rule, "path": f.path, "line": f.line,
+            "column": f.column, "message": f.message, "fixit": f.fixit,
+        } for f in findings], indent=2))
+    else:
+        for finding in findings:
+            print(finding.format(show_fixit=not args.no_fixit))
+        summary = f"{len(findings)} finding(s)"
+        if baselined_count:
+            summary += f" ({baselined_count} baselined, not shown)"
+        print(summary)
+    return 1 if findings else 0

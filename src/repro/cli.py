@@ -15,6 +15,9 @@ Commands
 ``check``     run benchmarks × LSQ presets under the full validation
               stack (memory-model oracle + cycle-level invariants,
               optionally fault injection); exit nonzero on any failure.
+``lint``      run the simulator-aware static analyzer
+              (:mod:`repro.analyze`) over the repro sources; exit
+              nonzero on any non-baselined finding.
 """
 
 from __future__ import annotations
@@ -85,11 +88,17 @@ def cmd_run(args) -> None:
     stats = result.stats
     print(f"{trace.name}: {stats.committed} instructions in "
           f"{stats.cycles} cycles -> IPC {stats.ipc:.2f}")
+    print(f"  mix: {stats.committed_loads} loads, "
+          f"{stats.committed_stores} stores, "
+          f"{stats.committed_branches} branches")
     print(f"  searches: SQ {stats.sq_searches}, LQ {stats.lq_searches}, "
-          f"load buffer {stats.load_buffer_searches}")
-    print(f"  forwarding: {stats.forwarded_loads} loads; "
+          f"load buffer {stats.load_buffer_searches}, "
+          f"invalidation {stats.invalidation_searches}")
+    print(f"  forwarding: {stats.forwarded_loads} loads "
+          f"(SQ match rate {stats.forward_match_rate:.2f}); "
           f"violations: {stats.violation_squashes}; "
-          f"branch mispredicts: {stats.branch_mispredicts}")
+          f"branch mispredicts: {stats.branch_mispredicts} "
+          f"(rate {stats.branch_mispredict_rate:.3f})")
     print(f"  occupancy: LQ {stats.avg_lq_occupancy:.1f} / "
           f"SQ {stats.avg_sq_occupancy:.1f}; "
           f"OOO loads {stats.avg_ooo_loads:.2f}")
@@ -170,7 +179,7 @@ def cmd_check(args) -> None:
             if args.faults:
                 reports = run_all_fault_classes(trace, machine,
                                                 seed=args.seed)
-                for report in reports.values():
+                for __, report in sorted(reports.items()):
                     if not report.ok:
                         failed += 1
                         print(f"FAIL {report.format()}")
@@ -182,6 +191,13 @@ def cmd_check(args) -> None:
           + (f", {failed} FAILED" if failed else ""))
     if failed:
         sys.exit(1)
+
+
+def cmd_lint(args) -> None:
+    from repro.analyze.runner import run_lint
+    code = run_lint(namespace=args)
+    if code:
+        sys.exit(code)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -243,6 +259,12 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--seed", type=int, default=0,
                        help="fault-injection RNG seed")
     check.set_defaults(func=cmd_check)
+
+    from repro.analyze.runner import build_parser as build_lint_parser
+    lint = sub.add_parser(
+        "lint", help="simulator-aware static analysis over repro sources")
+    build_lint_parser(lint)
+    lint.set_defaults(func=cmd_lint)
     return parser
 
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 import enum
 import os
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Any, Optional
 
 
 def _default_watchdog_cycles() -> int:
@@ -321,16 +321,16 @@ class MachineConfig:
     store_sets: StoreSetConfig = field(default_factory=StoreSetConfig)
     branch: BranchPredictorConfig = field(default_factory=BranchPredictorConfig)
 
-    def with_lsq(self, **kwargs) -> "MachineConfig":
+    def with_lsq(self, **kwargs: Any) -> "MachineConfig":
         """Return a copy with load/store-queue parameters replaced."""
         return replace(self, lsq=replace(self.lsq, **kwargs))
 
-    def with_core(self, **kwargs) -> "MachineConfig":
+    def with_core(self, **kwargs: Any) -> "MachineConfig":
         """Return a copy with core parameters replaced."""
         return replace(self, core=replace(self.core, **kwargs))
 
 
-def base_machine(**lsq_overrides) -> MachineConfig:
+def base_machine(**lsq_overrides: Any) -> MachineConfig:
     """The paper's base configuration (Table 1).
 
     Keyword arguments override :class:`LsqConfig` fields, e.g.
@@ -342,7 +342,7 @@ def base_machine(**lsq_overrides) -> MachineConfig:
     return machine
 
 
-def scaled_machine(**lsq_overrides) -> MachineConfig:
+def scaled_machine(**lsq_overrides: Any) -> MachineConfig:
     """The scaled processor of Section 4.3.
 
     Issue width 8 -> 12, issue queue 64 -> 96, L1 hit latency 2 -> 3

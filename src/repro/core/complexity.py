@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.config import LoadQueueSearchMode, LsqConfig, PredictorMode, \
     StoreSetConfig
@@ -90,7 +90,7 @@ def static_complexity(lsq: LsqConfig,
     if baseline is None:
         baseline = LsqConfig()  # 32+32 entries, 2 ports
 
-    def totals(config: LsqConfig):
+    def totals(config: LsqConfig) -> Tuple[float, float, int]:
         entries = config.effective_lq_entries + config.effective_sq_entries
         searched = (config.segment_entries if config.segmented
                     else max(config.lq_entries, config.sq_entries))
@@ -126,7 +126,8 @@ def search_energy(stats: SimStats, lsq: LsqConfig,
         lq_entries = lsq.lq_entries
         sq_activations = stats.sq_searches
         lq_activations = stats.lq_searches
-    energy = (sq_activations * sq_entries + lq_activations * lq_entries)
+    energy: float = (sq_activations * sq_entries
+                     + lq_activations * lq_entries)
     energy += stats.load_buffer_searches * lsq.load_buffer_entries \
         * LOAD_BUFFER_ENTRY_COST
     if lsq.predictor in (PredictorMode.PAIR, PredictorMode.AGGRESSIVE):

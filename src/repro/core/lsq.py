@@ -29,9 +29,10 @@ contention) require another attempt.
 
 from __future__ import annotations
 
-from typing import Dict, List, NamedTuple, Optional
+from typing import Dict, List, NamedTuple, Optional, Tuple, Union
 
 from repro.config import (
+    ContentionPolicy,
     LoadQueueSearchMode,
     LsqConfig,
     PredictorMode,
@@ -39,7 +40,7 @@ from repro.config import (
 )
 from repro.core.load_buffer import LoadBuffer, NilpTracker
 from repro.core.queues import PortCalendar, SegmentedQueue
-from repro.core.store_sets import make_predictor
+from repro.core.store_sets import Predictor, make_predictor
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.pipeline.dyninst import DynInst
 from repro.stats.counters import SimStats
@@ -54,6 +55,9 @@ CONTENTION_REPLAY_PENALTY = 4
 #: the head segment (Section 3): dependents wait for the value instead
 #: of being woken back-to-back, costing the scheduler's load-to-use loop.
 EARLY_SCHEDULING_PENALTY = 3
+
+#: A pipelined search itinerary: ``[(segment, entries_to_scan), ...]``.
+SearchPlan = List[Tuple[int, List[DynInst]]]
 
 
 class Violation(NamedTuple):
@@ -120,7 +124,7 @@ class LoadStoreQueue:
             self.lq_ports = PortCalendar(config.search_ports)
             self.sq_ports = PortCalendar(config.search_ports)
 
-        self.predictor = make_predictor(config.predictor, ss_config, stats,
+        self.predictor: Predictor = make_predictor(config.predictor, ss_config, stats,
                                         clear_interval)
         self.load_buffer = LoadBuffer(config.load_buffer_entries)
         self.nilp = NilpTracker()
@@ -228,7 +232,8 @@ class LoadStoreQueue:
     def on_membar_dispatch(self, membar: DynInst) -> None:
         self._membars.append(membar)
 
-    def try_execute_membar(self, membar: DynInst, cycle: int):
+    def try_execute_membar(self, membar: DynInst,
+                           cycle: int) -> Union[StoreResult, Retry]:
         """A barrier completes once every older memory op is *performed*:
         loads have their data back, stores have resolved addresses."""
         for entry in self.lq.entries():
@@ -316,7 +321,8 @@ class LoadStoreQueue:
             return self._oracle_match(load) is not None
         return self.predictor.should_search(load)
 
-    def try_execute_load(self, load: DynInst, cycle: int):
+    def try_execute_load(self, load: DynInst,
+                         cycle: int) -> Union[LoadResult, Retry]:
         """Attempt the memory-stage access for a load.
 
         Returns a :class:`LoadResult`, or :class:`Retry` on a structural
@@ -356,12 +362,15 @@ class LoadStoreQueue:
             if outcome is not None:
                 return outcome
 
-        # All hazards cleared: reserve and perform.
-        self.memory.try_reserve_data_port(cycle)
+        # All hazards cleared: reserve and perform.  The data port was
+        # admitted by the d_ports.available() hazard check above, under
+        # the same cycle, so this booking cannot be denied.
+        self.memory.try_reserve_data_port(cycle)  # sim-lint: ignore[SIM-P002]
         self.sq_ports.reserve_path(sq_path, cycle)
         self.lq_ports.reserve_path(lq_path, cycle)
 
-        forwarded_store, segments_searched = (None, 0)
+        forwarded_store: Optional[DynInst] = None
+        segments_searched = 0
         if need_sq:
             forwarded_store, segments_searched = self._sq_search(load, sq_plan)
         violation = self._lq_ordering_check(load, lq_plan)
@@ -374,9 +383,9 @@ class LoadStoreQueue:
                           violation=violation)
 
     def _admit_joint(self, calendar: PortCalendar, path_a: List[int],
-                     path_b: List[int], cycle: int):
+                     path_b: List[int], cycle: int) -> Optional[Retry]:
         """Admission for two pipelined searches on one shared port pool."""
-        demand: Dict[tuple, int] = {}
+        demand: Dict[Tuple[int, int], int] = {}
         for path in (path_a, path_b):
             for offset, segment in enumerate(path):
                 key = (segment, cycle + offset)
@@ -391,7 +400,7 @@ class LoadStoreQueue:
             calendar.free_ports(segment, at) < count
             for (segment, at), count in demand.items() if at > cycle)
         if shortfall_later:
-            if self.config.contention.value == "stall":
+            if self.config.contention is ContentionPolicy.STALL:
                 self.stats.contention_stalls += 1
                 return Retry(cycle + 1)
             self.stats.contention_squashes += 1
@@ -399,7 +408,8 @@ class LoadStoreQueue:
         return None
 
     def _admit_search(self, calendar: PortCalendar, path: List[int],
-                      cycle: int, stats: SimStats, which: str):
+                      cycle: int, stats: SimStats,
+                      which: str) -> Optional[Retry]:
         """Check a pipelined search path; None means admitted."""
         if not path:
             return None
@@ -413,13 +423,14 @@ class LoadStoreQueue:
                 stats.lq_port_stalls += 1
             return Retry(cycle + 1)
         # busy_later: Section 3.2 contention.
-        if self.config.contention.value == "stall":
+        if self.config.contention is ContentionPolicy.STALL:
             stats.contention_stalls += 1
             return Retry(cycle + 1)
         stats.contention_squashes += 1
         return Retry(cycle + CONTENTION_REPLAY_PENALTY)
 
-    def _sq_search(self, load: DynInst, plan) -> tuple:
+    def _sq_search(self, load: DynInst, plan: "SearchPlan",
+                   ) -> Tuple[Optional[DynInst], int]:
         """Forwarding search: youngest older overlapping *executed* store.
 
         Returns ``(store_or_None, segments_searched)`` and records the
@@ -452,7 +463,8 @@ class LoadStoreQueue:
             self.stats.useless_searches += 1
         return match, segments_searched
 
-    def _lq_ordering_check(self, load: DynInst, plan) -> Optional[Violation]:
+    def _lq_ordering_check(self, load: DynInst,
+                           plan: "SearchPlan") -> Optional[Violation]:
         """Load-load ordering: find a younger, already-issued,
         same-address load (Section 2.2)."""
         mode = self.config.lq_search
@@ -478,7 +490,8 @@ class LoadStoreQueue:
         # job (Section 2.2).
         return None
 
-    def _load_latency(self, load: DynInst, forwarded_store,
+    def _load_latency(self, load: DynInst,
+                      forwarded_store: Optional[DynInst],
                       segments_searched: int, sq_path: List[int],
                       cycle: int) -> int:
         if forwarded_store is not None:
@@ -516,7 +529,8 @@ class LoadStoreQueue:
     # store execution and commit
     # ------------------------------------------------------------------
 
-    def try_execute_store(self, store: DynInst, cycle: int):
+    def try_execute_store(self, store: DynInst,
+                          cycle: int) -> Union[StoreResult, Retry]:
         """Store address generation + (conventional) load-queue search."""
         if self.config.detection_at_commit:
             store.mem_executed = True
@@ -536,7 +550,7 @@ class LoadStoreQueue:
         return StoreResult(violation=violation)
 
     def _store_ordering_check(self, store: DynInst,
-                              plan) -> Optional[Violation]:
+                              plan: "SearchPlan") -> Optional[Violation]:
         """Find the oldest younger issued load with a stale value."""
         self.stats.lq_searches += 1
         self.stats.lq_segment_visits += max(len(plan), 1)
@@ -557,7 +571,8 @@ class LoadStoreQueue:
                                      extra_penalty=extra)
         return None
 
-    def try_commit_store(self, store: DynInst, cycle: int):
+    def try_commit_store(self, store: DynInst,
+                         cycle: int) -> Union[CommitResult, Retry]:
         """Retire a store: cache write plus (pair-mode) the deferred
         store-load ordering search."""
         if not self.memory.d_ports.available(cycle):
@@ -577,7 +592,9 @@ class LoadStoreQueue:
             self.lq_ports.reserve_path(path, cycle)
             violation = self._store_ordering_check(store, plan)
 
-        self.memory.try_reserve_data_port(cycle)
+        # Pre-admitted: try_commit_store() only reaches this point after
+        # the d_ports.available() check at its top passed for this cycle.
+        self.memory.try_reserve_data_port(cycle)  # sim-lint: ignore[SIM-P002]
         self.memory.data_access(store.addr, write=True, cycle=cycle)
         self._note_written_line(store.addr)
         self.predictor.on_store_commit(store)

@@ -22,9 +22,12 @@ Section 3.2.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
 
 from repro.config import AllocationPolicy
+
+if TYPE_CHECKING:
+    from repro.pipeline.dyninst import DynInst
 
 
 class SegmentedQueue:
@@ -38,8 +41,8 @@ class SegmentedQueue:
         self.num_segments = segments
         self.segment_entries = segment_entries
         self.policy = policy
-        self._segments: List[List] = [[] for _ in range(segments)]
-        self._order: List = []      # program order; head at _head
+        self._segments: List[List[DynInst]] = [[] for _ in range(segments)]
+        self._order: List[DynInst] = []   # program order; head at _head
         self._head = 0
         self._virtual = 0           # ring cursor (no-self-circular)
         self._tail_segment = 0      # current tail segment (self-circular)
@@ -57,16 +60,16 @@ class SegmentedQueue:
     def empty(self) -> bool:
         return len(self) == 0
 
-    def entries(self) -> Iterable:
+    def entries(self) -> Iterable[DynInst]:
         """In-flight entries in program order."""
         return iter(self._order[self._head:])
 
     @property
-    def oldest(self):
+    def oldest(self) -> Optional[DynInst]:
         return self._order[self._head] if len(self) else None
 
     @property
-    def youngest(self):
+    def youngest(self) -> Optional[DynInst]:
         return self._order[-1] if len(self) else None
 
     def head_segment(self) -> int:
@@ -96,7 +99,7 @@ class SegmentedQueue:
     def can_allocate(self) -> bool:
         return self._target_segment() is not None
 
-    def allocate(self, inst) -> int:
+    def allocate(self, inst: DynInst) -> int:
         """Place ``inst`` (the current youngest) and return its segment."""
         target = self._target_segment()
         if target is None:
@@ -111,7 +114,7 @@ class SegmentedQueue:
 
     # -- release ---------------------------------------------------------------
 
-    def commit_head(self, inst) -> None:
+    def commit_head(self, inst: DynInst) -> None:
         """Release the oldest entry (must be ``inst``)."""
         if not len(self) or self._order[self._head] is not inst:
             raise RuntimeError(f"{self.name}: commit out of order")
@@ -125,9 +128,9 @@ class SegmentedQueue:
             del self._order[:self._head]
             self._head = 0
 
-    def squash_from(self, seq: int) -> List:
+    def squash_from(self, seq: int) -> List[DynInst]:
         """Drop every entry with sequence >= ``seq``; return them."""
-        dropped: List = []
+        dropped: List[DynInst] = []
         while len(self) and self._order[-1].seq >= seq:
             inst = self._order.pop()
             dropped.append(inst)
@@ -148,7 +151,7 @@ class SegmentedQueue:
 
     # -- search plans ------------------------------------------------------
 
-    def backward_plan(self, seq: int) -> List[Tuple[int, List]]:
+    def backward_plan(self, seq: int) -> List[Tuple[int, List[DynInst]]]:
         """Segments to visit for a backward (towards-head) search.
 
         Returns ``[(segment, entries_older_than_seq_youngest_first), ...]``
@@ -156,7 +159,7 @@ class SegmentedQueue:
         proceeding towards the head.  Empty segments are skipped (their
         occupancy bits prune the search).
         """
-        per_segment: Dict[int, List] = {}
+        per_segment: Dict[int, List[DynInst]] = {}
         for entry in self._order[self._head:]:
             if entry.seq >= seq:
                 break
@@ -166,13 +169,13 @@ class SegmentedQueue:
         return [(segment, list(reversed(entries)))
                 for segment, entries in plan]
 
-    def forward_plan(self, seq: int) -> List[Tuple[int, List]]:
+    def forward_plan(self, seq: int) -> List[Tuple[int, List[DynInst]]]:
         """Segments to visit for a forward (towards-tail) search.
 
         Returns ``[(segment, entries_younger_than_seq_oldest_first), ...]``
         starting at the segment holding the oldest younger entry.
         """
-        per_segment: Dict[int, List] = {}
+        per_segment: Dict[int, List[DynInst]] = {}
         for entry in reversed(self._order[self._head:]):
             if entry.seq <= seq:
                 break
@@ -184,7 +187,7 @@ class SegmentedQueue:
     def occupied_segments(self) -> int:
         return sum(1 for seg in self._segments if seg)
 
-    def segment_contents(self) -> List[List]:
+    def segment_contents(self) -> List[List[DynInst]]:
         """Per-segment entry lists (copies), for white-box validation."""
         return [list(segment) for segment in self._segments]
 

@@ -40,10 +40,13 @@ Two table implementations share the logic:
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Union
 
 from repro.config import PredictorMode, StoreSetConfig
 from repro.stats.counters import SimStats
+
+if TYPE_CHECKING:
+    from repro.pipeline.dyninst import DynInst
 
 #: Committed-instruction interval between table invalidations.  Chrysos
 #: & Emer clear their tables every ~1M cycles over 100M+ instruction
@@ -70,7 +73,7 @@ class _RealTables:
 
     def __init__(self, config: StoreSetConfig) -> None:
         self.config = config
-        self._ssit: list = [None] * config.ssit_entries
+        self._ssit: List[Optional[int]] = [None] * config.ssit_entries
         self._lfst = [_LfstEntry() for _ in range(config.lfst_entries)]
 
     def _index(self, pc: int) -> int:
@@ -144,13 +147,15 @@ class PairPredictor:
         self.clear_interval = (clear_interval if clear_interval is not None
                                else config.clear_interval)
         self._clears = 0
-        tables = (_IdealTables if mode is PredictorMode.AGGRESSIVE
-                  else _RealTables)
-        self.tables = tables(config)
+        self.tables: Union[_RealTables, _IdealTables]
+        if mode is PredictorMode.AGGRESSIVE:
+            self.tables = _IdealTables(config)
+        else:
+            self.tables = _RealTables(config)
 
     # -- pipeline hooks ---------------------------------------------------
 
-    def on_load_dispatch(self, load) -> None:
+    def on_load_dispatch(self, load: DynInst) -> None:
         """SSIT/LFST access at fetch (Figure 3, load row)."""
         ssid = self.tables.ssid_for(load.pc)
         load.ssid = ssid
@@ -161,7 +166,7 @@ class PairPredictor:
         if entry.valid and -1 < entry.store_seq < load.seq:
             load.wait_store_seq = entry.store_seq
 
-    def on_store_dispatch(self, store) -> None:
+    def on_store_dispatch(self, store: DynInst) -> None:
         """valid := True, counter += 1, update LFST (Figure 3, store row)."""
         ssid = self.tables.ssid_for(store.pc)
         store.ssid = ssid
@@ -172,7 +177,7 @@ class PairPredictor:
         entry.valid = True
         entry.counter = min(entry.counter + 1, self.config.counter_max)
 
-    def on_store_issue(self, store) -> None:
+    def on_store_issue(self, store: DynInst) -> None:
         """Clear the valid bit when the last-fetched store issues."""
         if store.ssid is None:
             return
@@ -180,14 +185,14 @@ class PairPredictor:
         if entry.valid and entry.store_seq == store.seq:
             entry.valid = False
 
-    def on_store_commit(self, store) -> None:
+    def on_store_commit(self, store: DynInst) -> None:
         """counter -= 1 at commit (pair-predictor lifetime extends here)."""
         if store.ssid is None:
             return
         entry = self.tables.lfst(store.ssid)
         entry.counter = max(entry.counter - 1, 0)
 
-    def on_store_squash(self, store) -> None:
+    def on_store_squash(self, store: DynInst) -> None:
         """Roll the counter back for a squashed in-flight store."""
         if store.ssid is None:
             return
@@ -196,7 +201,7 @@ class PairPredictor:
         if entry.valid and entry.store_seq == store.seq:
             entry.valid = False
 
-    def should_search(self, load) -> bool:
+    def should_search(self, load: DynInst) -> bool:
         """Pair prediction read at issue: search iff counter > 0.
 
         In CONVENTIONAL mode every load searches regardless (the
@@ -224,18 +229,19 @@ class PairPredictor:
     def _merge(self, load_pc: int, store_pc: int) -> None:
         load_ssid = self.tables.ssid_for(load_pc)
         store_ssid = self.tables.ssid_for(store_pc)
-        if load_ssid is None and store_ssid is None:
+        if load_ssid is not None and store_ssid is not None:
+            if load_ssid != store_ssid:
+                winner = min(load_ssid, store_ssid)
+                self.tables.assign(load_pc, winner)
+                self.tables.assign(store_pc, winner)
+        elif load_ssid is not None:
+            self.tables.assign(store_pc, load_ssid)
+        elif store_ssid is not None:
+            self.tables.assign(load_pc, store_ssid)
+        else:
             ssid = self.tables.new_ssid(load_pc)
             self.tables.assign(load_pc, ssid)
             self.tables.assign(store_pc, ssid)
-        elif load_ssid is None:
-            self.tables.assign(load_pc, store_ssid)
-        elif store_ssid is None:
-            self.tables.assign(store_pc, load_ssid)
-        elif load_ssid != store_ssid:
-            winner = min(load_ssid, store_ssid)
-            self.tables.assign(load_pc, winner)
-            self.tables.assign(store_pc, winner)
 
     # -- maintenance ----------------------------------------------------------
 
@@ -264,22 +270,22 @@ class PerfectPredictor:
         self.config = config
         self.stats = stats
 
-    def on_load_dispatch(self, load) -> None:  # noqa: D102
+    def on_load_dispatch(self, load: DynInst) -> None:  # noqa: D102
         pass
 
-    def on_store_dispatch(self, store) -> None:  # noqa: D102
+    def on_store_dispatch(self, store: DynInst) -> None:  # noqa: D102
         pass
 
-    def on_store_issue(self, store) -> None:  # noqa: D102
+    def on_store_issue(self, store: DynInst) -> None:  # noqa: D102
         pass
 
-    def on_store_commit(self, store) -> None:  # noqa: D102
+    def on_store_commit(self, store: DynInst) -> None:  # noqa: D102
         pass
 
-    def on_store_squash(self, store) -> None:  # noqa: D102
+    def on_store_squash(self, store: DynInst) -> None:  # noqa: D102
         pass
 
-    def should_search(self, load) -> bool:  # noqa: D102
+    def should_search(self, load: DynInst) -> bool:  # noqa: D102
         return False
 
     def train_violation(self, load_pc: int, store_pc: int) -> None:  # noqa: D102
@@ -292,9 +298,13 @@ class PerfectPredictor:
         pass
 
 
+#: Either predictor flavour — what :func:`make_predictor` hands the LSQ.
+Predictor = Union[PairPredictor, PerfectPredictor]
+
+
 def make_predictor(mode: PredictorMode, config: StoreSetConfig,
                    stats: SimStats,
-                   clear_interval: Optional[int] = None):
+                   clear_interval: Optional[int] = None) -> Predictor:
     """Build the predictor variant for an LSQ configuration."""
     if mode is PredictorMode.PERFECT:
         return PerfectPredictor(config, stats)

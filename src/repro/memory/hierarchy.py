@@ -14,7 +14,7 @@ monotonically non-decreasing cycles.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.config import MemoryConfig
 from repro.memory.cache import Cache
@@ -66,7 +66,7 @@ class MemoryHierarchy:
         self.i_ports = _PortMeter(config.l1i.ports)
         # In-flight L1-D misses (block -> data-ready cycle) when MSHRs
         # are modelled; accesses to an in-flight block merge onto it.
-        self._outstanding: dict = {}
+        self._outstanding: Dict[int, int] = {}
         self.mshr_merges = 0
         self.mshr_queue_delays = 0
 

@@ -14,6 +14,7 @@ control flow; tables are updated immediately after each prediction.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Tuple
 
 from repro.config import BranchPredictorConfig
 
@@ -52,7 +53,7 @@ class HybridBranchPredictor:
     def _gag_index(self) -> int:
         return self._global_history & (self.config.gag_entries - 1)
 
-    def _pag_index(self, pc: int) -> int:
+    def _pag_index(self, pc: int) -> Tuple[int, int]:
         slot = (pc >> 2) & (self.config.pag_history_entries - 1)
         return self._histories[slot] & (self.config.pag_entries - 1), slot
 

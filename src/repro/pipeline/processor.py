@@ -385,7 +385,7 @@ class Processor:
                     self.stats.sq_full_stalls += 1
                 return
             if not self.regfile.can_rename(inst.inst.dest):
-                self.regfile.rename_stalls += 1
+                self.regfile.note_rename_stall()
                 return
             self._fetch_buffer.popleft()
             if self.tracer is not None:

@@ -73,6 +73,8 @@ class PressureBreakdown:
     store_commit_delays: int
     violation_squashes: int
     dispatch_stalls: int
+    membar_stalls: int = 0
+    contention_stalls: int = 0
 
     def dominant(self) -> str:
         """The largest pressure source, by event count."""
@@ -97,6 +99,8 @@ def search_pressure(stats: SimStats) -> PressureBreakdown:
         violation_squashes=stats.violation_squashes,
         dispatch_stalls=(stats.lq_full_stalls + stats.sq_full_stalls
                          + stats.rob_full_stalls + stats.iq_full_stalls),
+        membar_stalls=stats.membar_stalls,
+        contention_stalls=stats.contention_stalls,
     )
 
 
@@ -115,7 +119,7 @@ class SweepSummary:
 
     def averages(self) -> Dict[str, float]:
         """Geomean speedup per configuration (1.0 = baseline parity)."""
-        return {label: geometric_mean(list(per_bench.values()))
+        return {label: geometric_mean(sorted(per_bench.values()))
                 for label, per_bench in self.speedups().items()}
 
     def best_config(self) -> str:
@@ -129,8 +133,9 @@ class SweepSummary:
         for bench in benches:
             rows.append([bench] + [f"{self.ipc[label][bench]:.2f}"
                                    for label in self.ipc])
+        averages = self.averages()
         rows.append(["geomean-speedup"]
-                    + [f"{avg:.3f}" for avg in self.averages().values()])
+                    + [f"{averages[label]:.3f}" for label in self.ipc])
         return format_table(headers, rows,
                             title=f"IPC sweep (baseline: {self.baseline})")
 

@@ -105,6 +105,21 @@ class SimStats:
         return self.ooo_load_cycles / self.cycles if self.cycles else 0.0
 
     @property
+    def branch_mispredict_rate(self) -> float:
+        """Mispredicted branches per committed branch."""
+        if not self.committed_branches:
+            return 0.0
+        return self.branch_mispredicts / self.committed_branches
+
+    @property
+    def forward_match_rate(self) -> float:
+        """Fraction of SQ forwarding searches that found a matching
+        older store — the hit rate of the paper's Figure 6 traffic."""
+        if not self.sq_searches:
+            return 0.0
+        return self.sq_search_matches / self.sq_searches
+
+    @property
     def violation_squashes(self) -> int:
         return (self.store_load_squashes + self.load_load_squashes
                 + self.contention_squashes)

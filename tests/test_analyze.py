@@ -1,0 +1,421 @@
+"""Tests for the simulator-aware static analyzer (``repro.analyze``).
+
+Each rule family gets fixture sources that *must* trigger it and
+near-misses that must not; on top of that the suppression syntax, the
+JSON baseline, the CLI exit codes, and — the gate this PR installs —
+the shipped tree linting clean.
+"""
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analyze import RULE_CATALOG, analyze_paths
+from repro.analyze.baseline import (load_baseline, split_by_baseline,
+                                    write_baseline)
+from repro.analyze.runner import run_lint
+
+
+def lint_tree(tmp_path, files):
+    """Write ``{relpath: source}`` under ``tmp_path`` and analyze it."""
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return analyze_paths([str(tmp_path)], root=str(tmp_path))
+
+
+def rules_of(findings):
+    return [finding.rule for finding in findings]
+
+
+# ---------------------------------------------------------------------------
+# SIM-D: determinism
+# ---------------------------------------------------------------------------
+
+class TestDeterminismRules:
+    def test_d001_set_iteration_flagged(self, tmp_path):
+        findings = lint_tree(tmp_path, {"mod.py": """
+            def f(items):
+                active = {1, 2, 3}
+                out = []
+                for x in active:
+                    out.append(x)
+                materialised = [x for x in {4, 5}]
+                return out, materialised
+        """})
+        assert rules_of(findings) == ["SIM-D001", "SIM-D001"]
+
+    def test_d001_ordered_consumption_clean(self, tmp_path):
+        findings = lint_tree(tmp_path, {"mod.py": """
+            def f(items):
+                active = {1, 2, 3}
+                total = sum(x for x in active)
+                ordered = sorted(active)
+                members = {x for x in active}
+                return total, ordered, members
+        """})
+        assert findings == []
+
+    def test_d002_dict_views_flagged(self, tmp_path):
+        findings = lint_tree(tmp_path, {"mod.py": """
+            def f(d):
+                snapshot = list(d.values())
+                for k in d.keys():
+                    snapshot.append(k)
+                return snapshot
+        """})
+        assert rules_of(findings) == ["SIM-D002", "SIM-D002"]
+
+    def test_d002_items_membership_and_reducers_clean(self, tmp_path):
+        findings = lint_tree(tmp_path, {"mod.py": """
+            def f(d, x):
+                for k, v in d.items():
+                    pass
+                present = x in d.keys()
+                top = max(d.values())
+                return present, top
+        """})
+        assert findings == []
+
+    def test_d003_global_random_flagged(self, tmp_path):
+        findings = lint_tree(tmp_path, {"mod.py": """
+            import random
+
+            def f():
+                rng = random.Random()
+                return random.randint(0, 3), rng
+        """})
+        assert sorted(rules_of(findings)) == ["SIM-D003", "SIM-D003"]
+
+    def test_d003_seeded_rng_clean(self, tmp_path):
+        findings = lint_tree(tmp_path, {"mod.py": """
+            import random
+
+            def f(seed):
+                rng = random.Random(seed)
+                return rng.randint(0, 3) + rng.random()
+        """})
+        assert findings == []
+
+    def test_d004_wall_clock_and_id_ordering_flagged(self, tmp_path):
+        findings = lint_tree(tmp_path, {"mod.py": """
+            import time
+
+            def f(xs):
+                started = time.time()
+                xs.sort(key=id)
+                return started
+        """})
+        assert sorted(rules_of(findings)) == ["SIM-D004", "SIM-D004"]
+
+    def test_d004_id_membership_clean(self, tmp_path):
+        findings = lint_tree(tmp_path, {"mod.py": """
+            def f(seen, obj):
+                return id(obj) in seen
+        """})
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# SIM-M: state-mutation discipline
+# ---------------------------------------------------------------------------
+
+class TestMutationRules:
+    def test_m001_foreign_writes_flagged(self, tmp_path):
+        findings = lint_tree(tmp_path, {"core/stage.py": """
+            class Stage:
+                def step(self):
+                    self.lsq.head = 0
+                    self.rob.count += 1
+        """})
+        assert rules_of(findings) == ["SIM-M001", "SIM-M001"]
+
+    def test_m001_registry_init_and_stats_clean(self, tmp_path):
+        findings = lint_tree(tmp_path, {"core/stage.py": """
+            SIM_LINT_INTERFACES = {"scoreboard"}
+
+            class Stage:
+                def __init__(self, lsq):
+                    self.lsq = lsq
+                    self.lsq.owner = self
+
+                def step(self):
+                    self.stats.cycles += 1
+                    self.scoreboard.mode = 1
+                    self.lsq.advance()
+        """})
+        assert findings == []
+
+    def test_m001_out_of_scope_tree_clean(self, tmp_path):
+        findings = lint_tree(tmp_path, {"harness/driver.py": """
+            class Driver:
+                def step(self):
+                    self.runner.count += 1
+        """})
+        assert findings == []
+
+    def test_m002_private_access_flagged(self, tmp_path):
+        findings = lint_tree(tmp_path, {"pipeline/stage.py": """
+            class Stage:
+                def peek(self):
+                    return self.lsq._stores
+
+                def busy(self):
+                    return self.queue._head > 0
+        """})
+        assert rules_of(findings) == ["SIM-M002", "SIM-M002"]
+
+    def test_m002_own_private_and_dunder_clean(self, tmp_path):
+        findings = lint_tree(tmp_path, {"pipeline/stage.py": """
+            class Stage:
+                def peek(self):
+                    self._cache = self.lsq.depth()
+                    return self._cache, self.lsq.__class__
+        """})
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# SIM-C: stats accounting
+# ---------------------------------------------------------------------------
+
+_C_FIXTURE = {
+    "stats/counters.py": """
+        class SimStats:
+            cycles: int = 0
+            dead_counter: int = 0
+            zombie_metric: int = 0
+    """,
+    "sim.py": """
+        class Sim:
+            def step(self):
+                self.stats.cycles += 1
+                self.stats.dead_counter += 1
+    """,
+    "report.py": """
+        def report(stats):
+            return stats.cycles, stats.zombie_metric
+    """,
+}
+
+
+class TestCounterRules:
+    def test_c001_and_c002_flagged_at_declaration(self, tmp_path):
+        findings = lint_tree(tmp_path, dict(_C_FIXTURE))
+        assert rules_of(findings) == ["SIM-C001", "SIM-C002"]
+        assert all(f.path == "stats/counters.py" for f in findings)
+        assert "dead_counter" in findings[0].message
+        assert "zombie_metric" in findings[1].message
+
+    def test_balanced_counter_clean(self, tmp_path):
+        files = dict(_C_FIXTURE)
+        files["report.py"] = """
+            def report(stats):
+                return stats.cycles, stats.zombie_metric, stats.dead_counter
+        """
+        files["sim.py"] = """
+            class Sim:
+                def step(self):
+                    self.stats.cycles += 1
+                    self.stats.dead_counter += 1
+                    self.stats.zombie_metric = self.stats.cycles * 2
+        """
+        assert lint_tree(tmp_path, files) == []
+
+    def test_no_simstats_class_no_findings(self, tmp_path):
+        findings = lint_tree(tmp_path, {"mod.py": """
+            class OtherStats:
+                ghost: int = 0
+        """})
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# SIM-P: port discipline
+# ---------------------------------------------------------------------------
+
+class TestPortRules:
+    def test_p001_unadmitted_bookings_flagged(self, tmp_path):
+        findings = lint_tree(tmp_path, {"core/client.py": """
+            class Client:
+                def book(self, cycle):
+                    self.calendar.reserve(0, cycle)
+
+                def book_path(self, path, cycle):
+                    self.calendar.reserve_path(path, cycle)
+        """})
+        assert rules_of(findings) == ["SIM-P001", "SIM-P001"]
+
+    def test_p001_admitted_or_own_booking_clean(self, tmp_path):
+        findings = lint_tree(tmp_path, {"core/client.py": """
+            class Client:
+                def gated(self, cycle):
+                    if self.calendar.available(0, cycle):
+                        self.calendar.reserve(0, cycle)
+
+                def own(self, cycle):
+                    self.reserve(0, cycle)
+        """})
+        assert findings == []
+
+    def test_p002_discarded_verdicts_flagged(self, tmp_path):
+        findings = lint_tree(tmp_path, {"memory/meter.py": """
+            class Meter:
+                def fire(self, cycle):
+                    self.calendar.available(0, cycle)
+                    self.ports.try_reserve_port(cycle)
+        """})
+        assert rules_of(findings) == ["SIM-P002", "SIM-P002"]
+
+    def test_p002_consumed_verdicts_clean(self, tmp_path):
+        findings = lint_tree(tmp_path, {"memory/meter.py": """
+            class Meter:
+                def fire(self, cycle):
+                    granted = self.ports.try_reserve_port(cycle)
+                    if self.calendar.available(0, cycle):
+                        granted = True
+                    return granted
+        """})
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# suppressions
+# ---------------------------------------------------------------------------
+
+class TestSuppressions:
+    def test_same_line_suppression(self, tmp_path):
+        findings = lint_tree(tmp_path, {"mod.py": """
+            def f(d):
+                return list(d.values())  # sim-lint: ignore[SIM-D002]
+        """})
+        assert findings == []
+
+    def test_comment_line_above_suppression(self, tmp_path):
+        findings = lint_tree(tmp_path, {"mod.py": """
+            def f(d):
+                # sim-lint: ignore[SIM-D002]
+                return list(d.values())
+        """})
+        assert findings == []
+
+    def test_bare_ignore_suppresses_all_rules(self, tmp_path):
+        findings = lint_tree(tmp_path, {"mod.py": """
+            import time
+
+            def f(d):
+                return list(d.values()), time.time()  # sim-lint: ignore
+        """})
+        assert findings == []
+
+    def test_mismatched_rule_id_does_not_suppress(self, tmp_path):
+        findings = lint_tree(tmp_path, {"mod.py": """
+            def f(d):
+                return list(d.values())  # sim-lint: ignore[SIM-D001]
+        """})
+        assert rules_of(findings) == ["SIM-D002"]
+
+
+# ---------------------------------------------------------------------------
+# baseline
+# ---------------------------------------------------------------------------
+
+class TestBaseline:
+    def test_roundtrip_and_split(self, tmp_path):
+        findings = lint_tree(tmp_path, {"mod.py": """
+            def f(d):
+                return list(d.values())
+        """})
+        assert len(findings) == 1
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(str(baseline_file), findings)
+        baseline = load_baseline(str(baseline_file))
+        assert set(baseline) == {findings[0].fingerprint()}
+        new, old = split_by_baseline(findings, baseline)
+        assert new == [] and old == findings
+
+    def test_runner_baseline_workflow(self, tmp_path, capsys):
+        source = tmp_path / "mod.py"
+        source.write_text("def f(d):\n    return list(d.values())\n")
+        baseline_file = tmp_path / "baseline.json"
+        assert run_lint([str(source)]) == 1
+        assert run_lint([str(source),
+                         "--write-baseline", str(baseline_file)]) == 0
+        assert run_lint([str(source), "--baseline", str(baseline_file)]) == 0
+        capsys.readouterr()
+
+    def test_rejects_non_object_baseline(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("[1, 2]")
+        with pytest.raises(ValueError):
+            load_baseline(str(bad))
+
+
+# ---------------------------------------------------------------------------
+# CLI / runner
+# ---------------------------------------------------------------------------
+
+class TestRunner:
+    def test_exit_codes(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("def f(d):\n    return list(d.values())\n")
+        clean = tmp_path / "clean.py"
+        clean.write_text("def f(d):\n    return sorted(d.values())\n")
+        assert run_lint([str(dirty)]) == 1
+        assert run_lint([str(clean)]) == 0
+        assert run_lint([str(tmp_path / "missing.py")]) == 2
+        capsys.readouterr()
+
+    def test_json_output(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("def f(d):\n    return list(d.values())\n")
+        assert run_lint([str(dirty), "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["rule"] == "SIM-D002"
+        assert payload[0]["line"] == 2
+
+    def test_list_rules(self, capsys):
+        assert run_lint(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in RULE_CATALOG:
+            assert rule_id in out
+
+    def test_cli_subcommand_exit_status(self, tmp_path):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("def f(d):\n    return list(d.values())\n")
+        package_dir = Path(repro.__file__).parent
+        env_root = str(package_dir.parent)
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "lint", str(dirty)],
+            capture_output=True, text=True,
+            env={"PYTHONPATH": env_root, "PATH": "/usr/bin:/bin"})
+        assert proc.returncode == 1
+        assert "SIM-D002" in proc.stdout
+
+
+# ---------------------------------------------------------------------------
+# the gate: catalog hygiene and a clean shipped tree
+# ---------------------------------------------------------------------------
+
+class TestShippedTree:
+    def test_catalog_ids_well_formed(self):
+        for rule_id, info in RULE_CATALOG.items():
+            assert rule_id.startswith("SIM-")
+            assert info.family and info.rationale and info.fixit
+
+    def test_every_finding_has_catalog_fixit(self, tmp_path):
+        findings = lint_tree(tmp_path, dict(_C_FIXTURE))
+        for finding in findings:
+            assert finding.rule in RULE_CATALOG
+            assert finding.fixit == RULE_CATALOG[finding.rule].fixit
+
+    def test_shipped_tree_lints_clean(self):
+        package_dir = Path(repro.__file__).parent
+        findings = analyze_paths([str(package_dir)])
+        assert findings == [], "\n".join(f.format() for f in findings)
