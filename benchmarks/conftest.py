@@ -3,7 +3,10 @@
 Every bench regenerates one of the paper's tables or figures.  A single
 session-scoped :class:`ExperimentRunner` is shared so configurations
 that appear in several figures (e.g. the 2-ported conventional base) are
-simulated once.
+simulated once — and all execution goes through the sweep engine
+(:mod:`repro.harness.engine`), so results also persist in the on-disk
+cache across bench invocations and fan out over worker processes when
+``REPRO_BENCH_JOBS`` > 1.
 
 Results are printed (run with ``-s`` to see them live) and written to
 ``benchmarks/results/<name>.txt``.
@@ -15,6 +18,12 @@ Environment knobs:
 ``REPRO_BENCH_SUBSET``
     comma-separated benchmark names to restrict the suite (default: all
     eighteen applications).
+``REPRO_BENCH_JOBS``
+    worker processes for sweep fan-out (default 1 = serial).
+``REPRO_BENCH_CACHE``
+    set to ``0``/``off`` to disable the on-disk result cache.
+``REPRO_CACHE_DIR``
+    cache directory (default ``.repro-cache``).
 """
 
 import os
@@ -22,6 +31,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.harness.engine import ResultCache, SweepEngine
 from repro.harness.experiment import ExperimentRunner
 from repro.workload import ALL_BENCHMARKS
 
@@ -35,15 +45,30 @@ def _selected_benchmarks():
     return ALL_BENCHMARKS
 
 
-@pytest.fixture(scope="session")
-def runner():
-    return ExperimentRunner(benchmarks=_selected_benchmarks())
+def _engine_from_env():
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    cache = None
+    if os.environ.get("REPRO_BENCH_CACHE", "1").lower() not in ("0", "off", "no"):
+        cache = ResultCache()
+    return SweepEngine(jobs=jobs, cache=cache)
 
 
 @pytest.fixture(scope="session")
-def ablation_runner():
+def engine():
+    """One engine per session: shared pool width, cache and counters."""
+    return _engine_from_env()
+
+
+@pytest.fixture(scope="session")
+def runner(engine):
+    return ExperimentRunner(benchmarks=_selected_benchmarks(), engine=engine)
+
+
+@pytest.fixture(scope="session")
+def ablation_runner(engine):
     """Smaller suite for the ablation benches."""
-    return ExperimentRunner(benchmarks=("gzip", "vortex", "mgrid", "equake"))
+    return ExperimentRunner(benchmarks=("gzip", "vortex", "mgrid", "equake"),
+                            engine=engine)
 
 
 def emit(result_name: str, text: str) -> None:

@@ -8,10 +8,17 @@ each machine, asserting zero silent corruptions.  This is the
 long-running counterpart to the CI smoke matrix; expect minutes of
 pure-Python simulation.
 
+Validated runs go through :mod:`repro.harness.engine`, so results (and
+the oracle's checked-load/checked-cycle summary) persist in the on-disk
+result cache: a re-run after an interrupted sweep, or after a sweep at
+the same code version, replays cached cells instantly.  ``--no-cache``
+forces everything to simulate afresh.  Fault-injection campaigns are
+never cached — injecting faults is the point of running them.
+
 Usage:
     PYTHONPATH=src python scripts/validate_sweep.py
     PYTHONPATH=src python scripts/validate_sweep.py -n 3000 --benchmarks gcc,mcf
-    PYTHONPATH=src python scripts/validate_sweep.py --no-faults
+    PYTHONPATH=src python scripts/validate_sweep.py --no-faults --no-cache
 
 Exit status is nonzero if any configuration fails validation or any
 fault campaign reports a silent corruption.
@@ -28,10 +35,9 @@ from dataclasses import replace
 
 from repro.cli import PRESETS
 from repro.config import base_machine
-from repro.pipeline.processor import simulate
+from repro.harness.engine import Cell, ResultCache, SweepEngine
 from repro.validate import (
     SimulationDeadlock,
-    ValidationChecker,
     ValidationError,
     run_all_fault_classes,
 )
@@ -52,6 +58,11 @@ def main(argv=None) -> int:
                         help="fault-injection RNG seed")
     parser.add_argument("--no-faults", action="store_true",
                         help="skip the fault-injection campaigns")
+    parser.add_argument("--cache", dest="cache_dir", metavar="DIR",
+                        help="result-cache directory (default: "
+                             "$REPRO_CACHE_DIR or .repro-cache)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="simulate every cell afresh")
     args = parser.parse_args(argv)
 
     benchmarks = (list(ALL_BENCHMARKS) if args.benchmarks == "all"
@@ -67,29 +78,45 @@ def main(argv=None) -> int:
             parser.error(f"unknown preset {name!r}; choose from: "
                          f"{', '.join(sorted(PRESETS))}")
 
+    cache = None
+    if not args.no_cache:
+        cache = (ResultCache(args.cache_dir) if args.cache_dir
+                 else ResultCache())
+    engine = SweepEngine(cache=cache)
+
     started = time.time()
     failures = []
     total_loads = 0
     total_cycles = 0
     total_injected = 0
+    cache_hits = 0
     for bench in benchmarks:
-        trace = generate_trace(bench, n_instructions=args.instructions)
+        fault_trace = (None if args.no_faults else
+                       generate_trace(bench,
+                                      n_instructions=args.instructions))
         for preset in presets:
             machine = replace(base_machine(),
                               lsq=PRESETS[preset](ports=args.ports))
             label = f"{bench} x {preset}"
-            checker = ValidationChecker()
+            cell = Cell(benchmark=bench, machine=machine, seed=0,
+                        n_instructions=args.instructions, validate=True,
+                        label=preset)
             try:
-                result = simulate(trace, machine, checker=checker)
+                cell_result = engine.run_cell(cell)
             except (ValidationError, SimulationDeadlock) as error:
                 failures.append(label)
                 print(f"FAIL {label}\n{error}")
                 continue
-            total_loads += checker.checked_loads
-            total_cycles += checker.checked_cycles
-            line = f"ok   {label}: IPC {result.ipc:.2f}; {checker.report()}"
-            if not args.no_faults:
-                reports = run_all_fault_classes(trace, machine,
+            summary = cell_result.validation
+            assert summary is not None
+            total_loads += summary.checked_loads
+            total_cycles += summary.checked_cycles
+            cache_hits += cell_result.cached
+            source = " [cached]" if cell_result.cached else ""
+            line = (f"ok   {label}: IPC {cell_result.ipc:.2f}; "
+                    f"{summary.report}{source}")
+            if fault_trace is not None:
+                reports = run_all_fault_classes(fault_trace, machine,
                                                 seed=args.seed)
                 injected = sum(len(r.outcomes) for r in reports.values())
                 silent = sum(len(r.silent) for r in reports.values())
@@ -107,7 +134,8 @@ def main(argv=None) -> int:
     print(f"\nsweep: {total - len(failures)}/{total} configuration(s) "
           f"passed in {elapsed:.0f}s; {total_loads} committed loads "
           f"cross-checked, {total_cycles} cycles of invariants, "
-          f"{total_injected} faults injected")
+          f"{total_injected} faults injected, {cache_hits} validated "
+          f"run(s) replayed from cache")
     if failures:
         print("failed: " + ", ".join(failures))
         return 1

@@ -15,6 +15,11 @@ Commands
 ``check``     run benchmarks × LSQ presets under the full validation
               stack (memory-model oracle + cycle-level invariants,
               optionally fault injection); exit nonzero on any failure.
+``bench``     run a benchmarks × presets × seeds sweep through the
+              parallel, disk-cached engine (``--jobs``, ``--cache``,
+              ``--progress``) and write a machine-readable
+              ``BENCH_sweep.json`` with per-cell wall time, IPC and
+              cache hit/miss counts.
 ``lint``      run the simulator-aware static analyzer
               (:mod:`repro.analyze`) over the repro sources; exit
               nonzero on any non-baselined finding.
@@ -105,6 +110,17 @@ def cmd_run(args) -> None:
     print("\n" + search_pressure(stats).format())
 
 
+def _engine(args):
+    """Build a SweepEngine from the shared --jobs/--cache/--no-cache
+    options (disk cache on unless --no-cache)."""
+    from repro.harness.engine import ResultCache, SweepEngine
+    cache = None
+    if not getattr(args, "no_cache", False):
+        cache_dir = getattr(args, "cache_dir", None)
+        cache = ResultCache(cache_dir) if cache_dir else ResultCache()
+    return SweepEngine(jobs=getattr(args, "jobs", 1) or 1, cache=cache)
+
+
 def cmd_figure(args) -> None:
     from repro.harness import ExperimentRunner, figures
     from repro.harness.plots import bar_chart
@@ -115,7 +131,8 @@ def cmd_figure(args) -> None:
     if unknown:
         sys.exit(f"unknown figure {unknown[0]!r}; choose from: "
                  f"{', '.join(sorted(figures.ALL_EXPERIMENTS))} or 'all'")
-    runner = ExperimentRunner(n_instructions=args.instructions)
+    runner = ExperimentRunner(n_instructions=args.instructions,
+                              engine=_engine(args))
     for name in names:
         result = figures.ALL_EXPERIMENTS[name](runner)
         print(bar_chart(result) if args.chart else result.format())
@@ -193,6 +210,101 @@ def cmd_check(args) -> None:
         sys.exit(1)
 
 
+#: Preset → default search-port count for the bench sweep, following the
+#: paper's pairing: conventional/segmented are evaluated 2-ported,
+#: techniques/full are the 1-ported designs they are compared against.
+BENCH_DEFAULT_PORTS = {"conventional": 2, "segmented": 2,
+                       "techniques": 1, "full": 1}
+
+#: The --smoke slice: two benchmarks (one INT, one FP) x the two
+#: bracketing presets, short traces — seconds of work, exercises the
+#: whole engine + cache path.  CI runs it twice and asserts the second
+#: pass is served entirely from cache.
+SMOKE_BENCHMARKS = ("gzip", "mgrid")
+SMOKE_PRESETS = ("conventional", "full")
+SMOKE_INSTRUCTIONS = 800
+
+
+def cmd_bench(args) -> None:
+    import json
+    import time
+
+    from repro.harness.engine import Cell, sweep_report
+    from repro.harness.experiment import default_instructions
+
+    if args.smoke:
+        benchmarks = list(SMOKE_BENCHMARKS)
+        presets = list(SMOKE_PRESETS)
+        seeds = [0]
+        n_instructions = args.instructions or SMOKE_INSTRUCTIONS
+    else:
+        benchmarks = (list(ALL_BENCHMARKS) if args.benchmarks == "all"
+                      else [b.strip() for b in args.benchmarks.split(",")
+                            if b.strip()])
+        presets = (sorted(PRESETS) if args.presets == "all"
+                   else [p.strip() for p in args.presets.split(",")
+                         if p.strip()])
+        seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+        n_instructions = args.instructions or default_instructions()
+    for name in benchmarks:
+        if name not in ALL_BENCHMARKS:
+            sys.exit(f"unknown benchmark {name!r}; choose from: "
+                     f"{', '.join(ALL_BENCHMARKS)}")
+    for name in presets:
+        if name not in PRESETS:
+            sys.exit(f"unknown preset {name!r}; choose from: "
+                     f"{', '.join(sorted(PRESETS))}")
+
+    cells = []
+    for bench in benchmarks:
+        for preset in presets:
+            ports = args.ports or BENCH_DEFAULT_PORTS.get(preset, 2)
+            machine = replace(base_machine(),
+                              lsq=PRESETS[preset](ports=ports))
+            for seed in seeds:
+                cells.append(Cell(benchmark=bench, machine=machine,
+                                  seed=seed, n_instructions=n_instructions,
+                                  validate=args.validate,
+                                  label=f"{preset}-{ports}p"))
+
+    engine = _engine(args)
+    print(f"bench: {len(cells)} cells ({len(benchmarks)} benchmarks x "
+          f"{len(presets)} presets x {len(seeds)} seed(s), "
+          f"n={n_instructions}), jobs={engine.jobs}, "
+          f"cache={'off' if engine.cache is None else engine.cache.root}")
+
+    def show(cell_result, done, total) -> None:
+        cell = cell_result.cell
+        source = "cache" if cell_result.cached else "simulated"
+        print(f"  [{done}/{total}] {cell.benchmark} x {cell.label} "
+              f"seed {cell.seed}: IPC {cell_result.ipc:.2f} "
+              f"({cell_result.sim_s:.2f}s sim, {source})")
+
+    started = time.perf_counter()  # sim-lint: ignore[SIM-D004]
+    results = engine.run_cells(cells, progress=show if args.progress
+                               else None)
+    wall_s = time.perf_counter() - started  # sim-lint: ignore[SIM-D004]
+
+    report = sweep_report(results, jobs=engine.jobs, cache=engine.cache,
+                          wall_s=wall_s)
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    hits = engine.cache.hits if engine.cache is not None else 0
+    simulated = report["simulated"]
+    print(f"bench: {simulated} simulated, {hits} cache hit(s); "
+          f"sim {report['sim_s']:.2f}s, wall {wall_s:.2f}s -> "
+          f"{args.output}")
+    if args.expect_cached and simulated:
+        missed = [item.cell for item in results if not item.cached]
+        print(f"bench: --expect-cached but {len(missed)} cell(s) were "
+              "simulated: "
+              + ", ".join(f"{c.benchmark} x {c.label} seed {c.seed}"
+                          for c in missed))
+        sys.exit(1)
+
+
 def cmd_lint(args) -> None:
     from repro.analyze.runner import run_lint
     code = run_lint(namespace=args)
@@ -222,12 +334,56 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(run)
     run.set_defaults(func=cmd_run)
 
+    def add_engine_options(p):
+        p.add_argument("-j", "--jobs", type=int, default=1,
+                       help="worker processes for cache misses "
+                            "(default 1 = serial)")
+        p.add_argument("--cache", dest="cache_dir", metavar="DIR",
+                       help="result-cache directory (default: "
+                            "$REPRO_CACHE_DIR or .repro-cache)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="disable the on-disk result cache")
+
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("name", help="fig6..fig12, table2..table6, or 'all'")
     figure.add_argument("-n", "--instructions", type=int, default=6000)
     figure.add_argument("--chart", action="store_true",
                         help="render as an ASCII bar chart")
+    add_engine_options(figure)
     figure.set_defaults(func=cmd_figure)
+
+    bench = sub.add_parser(
+        "bench", help="benchmarks x presets x seeds sweep through the "
+                      "parallel, disk-cached engine")
+    bench.add_argument("--benchmarks", default="all",
+                       help="comma-separated names (default: all 18)")
+    bench.add_argument("--presets", default="all",
+                       help="comma-separated preset names (default: all 4)")
+    bench.add_argument("--seeds", default="0",
+                       help="comma-separated generator seeds (default: 0)")
+    bench.add_argument("-n", "--instructions", type=int, default=0,
+                       help="instructions per trace (default: "
+                            "$REPRO_BENCH_INSTRUCTIONS or 6000)")
+    bench.add_argument("--ports", type=int, default=0,
+                       help="search ports for every preset (default: "
+                            "the paper's pairing, 2p conventional/"
+                            "segmented vs 1p techniques/full)")
+    bench.add_argument("--validate", action="store_true",
+                       help="run every cell under the memory-model "
+                            "oracle and invariant checker")
+    bench.add_argument("--smoke", action="store_true",
+                       help="tiny fixed slice (gzip,mgrid x conventional,"
+                            "full, 800 instructions) for CI cache checks")
+    bench.add_argument("--progress", action="store_true",
+                       help="print each cell as it finishes")
+    bench.add_argument("--expect-cached", action="store_true",
+                       help="exit nonzero if any cell had to be "
+                            "simulated (CI warm-cache assertion)")
+    bench.add_argument("-o", "--output", default="BENCH_sweep.json",
+                       help="machine-readable sweep report path "
+                            "(default: BENCH_sweep.json)")
+    add_engine_options(bench)
+    bench.set_defaults(func=cmd_bench)
 
     sweep = sub.add_parser("sweep", help="compare LSQ presets")
     add_common(sweep, with_lsq=False)

@@ -1,0 +1,415 @@
+"""Parallel, disk-cached sweep engine.
+
+Every figure and table of the paper replays some slice of the
+18-benchmark x N-configuration sweep.  This module turns that sweep into
+an explicit object: a :class:`Cell` is one (benchmark, machine, seed)
+point, a :class:`SweepEngine` fans cells out over a ``multiprocessing``
+pool, and a :class:`ResultCache` persists finished cells on disk so a
+second process (another bench, a rerun, CI) pays nothing for work
+already done.
+
+Cache design
+------------
+
+The cache is content-addressed: a cell's key is the SHA-256 digest of a
+canonical JSON encoding of everything that determines its result —
+
+* the full :class:`~repro.config.MachineConfig` (dataclasses flattened,
+  enums by value),
+* the benchmark name, generator seed and run length,
+* whether the run is validated (the oracle summary is cached alongside),
+* a *code version*: a digest over every ``repro`` source file, so any
+  change to the simulator silently invalidates all prior entries, and
+* a schema number for the cached payload format itself.
+
+Entries live under ``<cache dir>/<digest[:2]>/<digest>.pkl`` (the
+``REPRO_CACHE_DIR`` environment variable overrides the default
+``.repro-cache/``).  Writes go through a temporary file in the same
+directory followed by :func:`os.replace`, so concurrent workers and
+concurrent processes can share a cache directory without ever observing
+a torn entry; unreadable or stale entries are treated as misses and
+rewritten.  Simulation is deterministic given (trace, machine), so a
+cached result is bit-identical to a fresh one — the determinism tests
+in ``tests/test_engine.py`` assert exactly that.
+
+Parallelism
+-----------
+
+``SweepEngine(jobs=N)`` runs missing cells through a worker pool;
+workers receive the pickled :class:`Cell` (the :class:`MachineConfig`
+plus trace spec), regenerate the trace, simulate, and ship the
+:class:`~repro.pipeline.processor.SimulationResult` back.  Results are
+returned in input order regardless of completion order, so the parallel
+path is observationally identical to the serial one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+import time
+from multiprocessing import Pool
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.config import MachineConfig
+from repro.pipeline.processor import SimulationResult, simulate
+from repro.workload import generate_trace
+
+#: Version of the cached payload format; bump to invalidate every entry.
+CACHE_SCHEMA = 1
+
+#: Default cache directory (relative to the current working directory)
+#: when ``REPRO_CACHE_DIR`` is not set.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def default_cache_dir() -> Path:
+    """The cache root: ``REPRO_CACHE_DIR`` env override, else
+    ``.repro-cache/`` under the current directory."""
+    return Path(os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR)
+
+
+_code_version: Optional[str] = None
+
+
+def code_version() -> str:
+    """Digest of every ``repro`` source file (cached per process).
+
+    Folding this into each cell key means any edit to the simulator —
+    pipeline, core structures, workload generator, configuration — makes
+    every previously cached result unreachable, which is the entire
+    invalidation story: stale entries are never *deleted*, they simply
+    stop matching.  ``REPRO_CODE_VERSION`` overrides the scan (useful
+    for tests that need a stable or deliberately different version).
+    """
+    global _code_version
+    if _code_version is None:
+        override = os.environ.get("REPRO_CODE_VERSION")
+        if override:
+            _code_version = override
+        else:
+            digest = hashlib.sha256()
+            package_root = Path(__file__).resolve().parent.parent
+            for path in sorted(package_root.rglob("*.py")):
+                digest.update(path.relative_to(package_root).as_posix().encode())
+                digest.update(b"\0")
+                digest.update(path.read_bytes())
+                digest.update(b"\0")
+            _code_version = digest.hexdigest()[:16]
+    return _code_version
+
+
+def _canonical(value: object) -> object:
+    """Encode a config value as plain JSON-able data, deterministically."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {f.name: _canonical(getattr(value, f.name))
+                for f in dataclasses.fields(value)}
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    return value
+
+
+def config_fingerprint(machine: MachineConfig) -> str:
+    """Stable digest of a full machine configuration."""
+    payload = json.dumps(_canonical(machine), sort_keys=True,
+                         separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+@dataclasses.dataclass(frozen=True)
+class ValidationSummary:
+    """What the memory-model oracle / invariant checker verified while
+    producing a (possibly now-cached) result."""
+
+    checked_loads: int
+    checked_cycles: int
+    report: str
+
+
+@dataclasses.dataclass(frozen=True)
+class Cell:
+    """One (benchmark, machine, seed) point of a sweep.
+
+    ``label`` is a human-readable tag (e.g. the LSQ preset name) carried
+    into reports; it is deliberately **excluded** from the cache key.
+    """
+
+    benchmark: str
+    machine: MachineConfig
+    seed: int = 0
+    n_instructions: int = 6000
+    validate: bool = False
+    label: str = ""
+
+    def digest(self) -> str:
+        """Content address of this cell's result."""
+        payload = json.dumps(
+            {
+                "schema": CACHE_SCHEMA,
+                "code": code_version(),
+                "benchmark": self.benchmark,
+                "seed": self.seed,
+                "n_instructions": self.n_instructions,
+                "validate": self.validate,
+                "machine": _canonical(self.machine),
+            },
+            sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+
+@dataclasses.dataclass
+class CellResult:
+    """A finished cell: the simulation result plus provenance."""
+
+    cell: Cell
+    result: SimulationResult
+    #: Pure simulation seconds spent by whichever process *produced*
+    #: the result (preserved across the cache).
+    sim_s: float
+    #: Seconds this engine spent obtaining the result (cache probe or
+    #: live simulation, as seen by the coordinating process).
+    wall_s: float
+    cached: bool
+    validation: Optional[ValidationSummary] = None
+
+    @property
+    def ipc(self) -> float:
+        return self.result.ipc
+
+
+@dataclasses.dataclass
+class _StoredPayload:
+    """On-disk representation of a finished cell."""
+
+    schema: int
+    result: SimulationResult
+    sim_s: float
+    validation: Optional[ValidationSummary]
+
+
+class ResultCache:
+    """Content-addressed on-disk cache of simulation results.
+
+    Thread/process safe by construction: reads open complete files only,
+    writes are tempfile + :func:`os.replace` (atomic on POSIX within a
+    filesystem), and a corrupt or unreadable entry is a miss.
+    """
+
+    def __init__(self, root: Optional[Path] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, digest: str) -> Path:
+        return self.root / digest[:2] / f"{digest}.pkl"
+
+    def load(self, digest: str) -> Optional[_StoredPayload]:
+        try:
+            with open(self.path_for(digest), "rb") as handle:
+                payload = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            self.misses += 1
+            return None
+        if not isinstance(payload, _StoredPayload) \
+                or payload.schema != CACHE_SCHEMA:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def store(self, digest: str, result: SimulationResult, sim_s: float,
+              validation: Optional[ValidationSummary]) -> None:
+        path = self.path_for(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = _StoredPayload(schema=CACHE_SCHEMA, result=result,
+                                 sim_s=sim_s, validation=validation)
+        descriptor, tmp_name = tempfile.mkstemp(
+            dir=str(path.parent), prefix=".tmp-", suffix=".pkl")
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                pickle.dump(payload, handle,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+
+def _simulate_cell(cell: Cell) -> Tuple[SimulationResult, float,
+                                        Optional[ValidationSummary]]:
+    """Worker body: regenerate the trace, simulate, summarise.
+
+    Top-level (picklable) so it can run in pool workers; also the serial
+    path, so both paths share one definition.  Validation errors
+    propagate — a failed run is never cached.
+    """
+    started = time.perf_counter()  # sim-lint: ignore[SIM-D004]
+    trace = generate_trace(cell.benchmark,
+                           n_instructions=cell.n_instructions,
+                           seed=cell.seed)
+    checker = None
+    if cell.validate:
+        from repro.validate import ValidationChecker
+        checker = ValidationChecker()
+    result = simulate(trace, cell.machine, checker=checker)
+    sim_s = time.perf_counter() - started  # sim-lint: ignore[SIM-D004]
+    validation = None
+    if checker is not None:
+        validation = ValidationSummary(checked_loads=checker.checked_loads,
+                                       checked_cycles=checker.checked_cycles,
+                                       report=checker.report())
+    return result, sim_s, validation
+
+
+#: Progress callback: (finished cell, 1-based index, total).
+ProgressFn = Callable[[CellResult, int, int], None]
+
+
+class SweepEngine:
+    """Runs sweep cells with optional parallelism and disk caching.
+
+    ``jobs`` is the worker-pool width (1 = serial, in-process);
+    ``cache=None`` disables disk caching entirely (the ``--no-cache``
+    escape hatch).  The engine itself is stateless between calls apart
+    from hit/miss/simulated counters.
+    """
+
+    def __init__(self, jobs: int = 1,
+                 cache: Optional[ResultCache] = None) -> None:
+        self.jobs = max(1, jobs)
+        self.cache = cache
+        #: Cells actually simulated (not served from cache) by this
+        #: engine instance.
+        self.simulated = 0
+
+    def _from_cache(self, cell: Cell, digest: str) -> Optional[CellResult]:
+        if self.cache is None:
+            return None
+        started = time.perf_counter()  # sim-lint: ignore[SIM-D004]
+        payload = self.cache.load(digest)
+        if payload is None:
+            return None
+        return CellResult(cell=cell, result=payload.result,
+                          sim_s=payload.sim_s,
+                          wall_s=time.perf_counter() - started,  # sim-lint: ignore[SIM-D004]
+                          cached=True, validation=payload.validation)
+
+    def _finish(self, cell: Cell, digest: str, result: SimulationResult,
+                sim_s: float, wall_s: float,
+                validation: Optional[ValidationSummary]) -> CellResult:
+        self.simulated += 1
+        if self.cache is not None:
+            self.cache.store(digest, result, sim_s, validation)
+        return CellResult(cell=cell, result=result, sim_s=sim_s,
+                          wall_s=wall_s, cached=False, validation=validation)
+
+    def run_cell(self, cell: Cell) -> CellResult:
+        """Run one cell in-process (cache-first)."""
+        digest = cell.digest()
+        cached = self._from_cache(cell, digest)
+        if cached is not None:
+            return cached
+        started = time.perf_counter()  # sim-lint: ignore[SIM-D004]
+        result, sim_s, validation = _simulate_cell(cell)
+        return self._finish(cell, digest, result, sim_s,
+                            time.perf_counter() - started, validation)  # sim-lint: ignore[SIM-D004]
+
+    def run_cells(self, cells: Sequence[Cell],
+                  progress: Optional[ProgressFn] = None) -> List[CellResult]:
+        """Run many cells, fanning cache misses out over the pool.
+
+        Results come back in input order regardless of completion
+        order, so callers cannot observe the parallelism.
+        """
+        total = len(cells)
+        results: Dict[int, CellResult] = {}
+        missing: List[Tuple[int, Cell, str]] = []
+        done = 0
+        for index, cell in enumerate(cells):
+            digest = cell.digest()
+            cached = self._from_cache(cell, digest)
+            if cached is not None:
+                results[index] = cached
+                done += 1
+                if progress is not None:
+                    progress(cached, done, total)
+            else:
+                missing.append((index, cell, digest))
+
+        if missing:
+            started = time.perf_counter()  # sim-lint: ignore[SIM-D004]
+            if self.jobs > 1 and len(missing) > 1:
+                with Pool(processes=min(self.jobs, len(missing))) as pool:
+                    outputs = pool.map(_simulate_cell,
+                                       [cell for _, cell, _ in missing],
+                                       chunksize=1)
+            else:
+                outputs = [_simulate_cell(cell) for _, cell, _ in missing]
+            elapsed = time.perf_counter() - started  # sim-lint: ignore[SIM-D004]
+            # Attribute coordinator wall time evenly across the batch:
+            # with a pool, per-cell wall time is not individually
+            # observable from here, and the sum is what matters.
+            share = elapsed / len(missing)
+            for (index, cell, digest), (result, sim_s, validation) \
+                    in zip(missing, outputs):
+                finished = self._finish(cell, digest, result, sim_s,
+                                        share, validation)
+                results[index] = finished
+                done += 1
+                if progress is not None:
+                    progress(finished, done, total)
+        return [results[index] for index in range(total)]
+
+
+def sweep_report(results: Sequence[CellResult], *, jobs: int,
+                 cache: Optional[ResultCache],
+                 wall_s: float) -> Dict[str, object]:
+    """Machine-readable summary of a sweep (the ``BENCH_sweep.json``
+    payload): per-cell wall time and IPC plus cache hit/miss totals, so
+    the performance trajectory of the harness itself is tracked."""
+    cells: List[Dict[str, object]] = []
+    for item in results:
+        cells.append({
+            "benchmark": item.cell.benchmark,
+            "label": item.cell.label,
+            "seed": item.cell.seed,
+            "n_instructions": item.cell.n_instructions,
+            "digest": item.cell.digest(),
+            "ipc": round(item.ipc, 6),
+            "cycles": item.result.stats.cycles,
+            "committed": item.result.stats.committed,
+            "sim_s": round(item.sim_s, 6),
+            "wall_s": round(item.wall_s, 6),
+            "cached": item.cached,
+            "validated": item.validation is not None,
+        })
+    simulated = sum(1 for item in results if not item.cached)
+    report: Dict[str, object] = {
+        "schema": CACHE_SCHEMA,
+        "code_version": code_version(),
+        "jobs": jobs,
+        "cells": cells,
+        "n_cells": len(results),
+        "simulated": simulated,
+        "sim_s": round(sum(item.sim_s for item in results), 6),
+        "wall_s": round(wall_s, 6),
+        "cache": {
+            "enabled": cache is not None,
+            "dir": str(cache.root) if cache is not None else None,
+            "hits": cache.hits if cache is not None else 0,
+            "misses": cache.misses if cache is not None else 0,
+        },
+    }
+    return report

@@ -1,0 +1,209 @@
+"""Tests for the parallel, disk-cached sweep engine.
+
+Covers the ISSUE's acceptance criteria directly: cached and fresh runs
+are bit-identical, the parallel path matches the serial path, a second
+process reuses the first one's cache, and the cache key separates cells
+that differ only in seed or run length.
+"""
+
+import dataclasses
+import json
+import os
+import pickle
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.config import base_machine
+from repro.harness.engine import (
+    Cell,
+    ResultCache,
+    SweepEngine,
+    code_version,
+    config_fingerprint,
+    sweep_report,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def cell(benchmark="gzip", seed=0, n_instructions=600, validate=False,
+         **lsq):
+    return Cell(benchmark=benchmark, machine=base_machine(**lsq),
+                seed=seed, n_instructions=n_instructions,
+                validate=validate)
+
+
+def stats_of(cell_result):
+    return dataclasses.asdict(cell_result.result.stats)
+
+
+class TestCacheKey:
+    def test_digest_is_stable(self):
+        assert cell().digest() == cell().digest()
+
+    def test_config_fingerprint_distinguishes_machines(self):
+        assert config_fingerprint(base_machine()) \
+            != config_fingerprint(base_machine(search_ports=1))
+
+    def test_digest_covers_seed(self):
+        assert cell(seed=0).digest() != cell(seed=1).digest()
+
+    def test_digest_covers_n_instructions(self):
+        assert cell(n_instructions=600).digest() \
+            != cell(n_instructions=1200).digest()
+
+    def test_digest_covers_benchmark_and_config(self):
+        digests = {cell().digest(), cell(benchmark="mgrid").digest(),
+                   cell(search_ports=1).digest(),
+                   cell(validate=True).digest()}
+        assert len(digests) == 4
+
+    def test_digest_ignores_label(self):
+        tagged = dataclasses.replace(cell(), label="base-2p")
+        assert tagged.digest() == cell().digest()
+
+    def test_digest_covers_code_version(self, monkeypatch):
+        before = cell().digest()
+        monkeypatch.setenv("REPRO_CODE_VERSION", "something-else")
+        monkeypatch.setattr("repro.harness.engine._code_version", None)
+        assert cell().digest() != before
+
+    def test_code_version_is_cached_per_process(self):
+        assert code_version() == code_version()
+
+
+class TestDiskCache:
+    def test_fresh_and_cached_runs_bit_identical(self, tmp_path):
+        first = SweepEngine(cache=ResultCache(tmp_path))
+        fresh = first.run_cell(cell())
+        second = SweepEngine(cache=ResultCache(tmp_path))
+        cached = second.run_cell(cell())
+        assert not fresh.cached and cached.cached
+        assert second.simulated == 0
+        assert stats_of(fresh) == stats_of(cached)
+
+    def test_corrupt_entry_is_a_miss_and_repaired(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        engine = SweepEngine(cache=cache)
+        engine.run_cell(cell())
+        path = cache.path_for(cell().digest())
+        path.write_bytes(b"not a pickle")
+        redone = SweepEngine(cache=ResultCache(tmp_path)).run_cell(cell())
+        assert not redone.cached
+        with open(path, "rb") as handle:
+            pickle.load(handle)  # rewritten entry is valid again
+
+    def test_no_cache_engine_always_simulates(self, tmp_path):
+        engine = SweepEngine(cache=None)
+        engine.run_cell(cell())
+        engine.run_cell(cell())
+        assert engine.simulated == 2
+
+    def test_two_runner_identities_do_not_collide(self, tmp_path):
+        """Cells differing only in seed or run length sharing one cache
+        directory must stay distinct (the old (benchmark, machine) key
+        conflated them)."""
+        cache = ResultCache(tmp_path)
+        engine = SweepEngine(cache=cache)
+        a = engine.run_cell(cell(seed=0))
+        b = engine.run_cell(cell(seed=3))
+        c = engine.run_cell(cell(n_instructions=1200))
+        assert engine.simulated == 3
+        assert stats_of(a) != stats_of(b)
+        assert c.result.stats.committed > a.result.stats.committed
+
+    def test_validation_summary_survives_the_cache(self, tmp_path):
+        engine = SweepEngine(cache=ResultCache(tmp_path))
+        fresh = engine.run_cell(cell(validate=True))
+        cached = SweepEngine(cache=ResultCache(tmp_path)) \
+            .run_cell(cell(validate=True))
+        assert fresh.validation is not None and cached.cached
+        assert cached.validation == fresh.validation
+        assert fresh.validation.checked_loads > 0
+
+
+class TestParallel:
+    CELLS = None
+
+    def _cells(self):
+        return [cell(benchmark=name, seed=seed)
+                for name in ("gzip", "mgrid") for seed in (0, 1)]
+
+    def test_parallel_matches_serial_bit_for_bit(self):
+        serial = SweepEngine(jobs=1).run_cells(self._cells())
+        parallel = SweepEngine(jobs=2).run_cells(self._cells())
+        assert [stats_of(r) for r in serial] \
+            == [stats_of(r) for r in parallel]
+
+    def test_parallel_preserves_input_order(self):
+        cells = self._cells()
+        results = SweepEngine(jobs=2).run_cells(cells)
+        assert [r.cell for r in results] == cells
+
+    def test_mixed_hits_and_misses(self, tmp_path):
+        cells = self._cells()
+        warm = SweepEngine(cache=ResultCache(tmp_path))
+        warm.run_cell(cells[0])
+        engine = SweepEngine(jobs=2, cache=ResultCache(tmp_path))
+        results = engine.run_cells(cells)
+        assert results[0].cached
+        assert engine.simulated == len(cells) - 1
+        assert engine.cache.hits == 1
+
+    def test_progress_callback_sees_every_cell(self):
+        seen = []
+        SweepEngine(jobs=2).run_cells(
+            self._cells(),
+            progress=lambda r, done, total: seen.append((done, total)))
+        assert seen == [(1, 4), (2, 4), (3, 4), (4, 4)]
+
+
+class TestSweepReport:
+    def test_report_shape(self, tmp_path):
+        engine = SweepEngine(cache=ResultCache(tmp_path))
+        results = engine.run_cells([cell(), cell(seed=1)])
+        report = sweep_report(results, jobs=1, cache=engine.cache,
+                              wall_s=1.25)
+        assert report["n_cells"] == 2 and report["simulated"] == 2
+        assert report["cache"]["enabled"]
+        assert report["cache"]["misses"] == 2
+        for row in report["cells"]:
+            assert set(row) >= {"benchmark", "seed", "ipc", "sim_s",
+                                "wall_s", "cached", "digest"}
+        json.dumps(report)  # machine-readable for real
+
+
+@pytest.mark.slow
+class TestCrossProcess:
+    """A second ``repro bench`` invocation is served entirely from the
+    first one's disk cache and emits identical per-cell stats."""
+
+    def _bench(self, tmp_path, out_name, *extra):
+        env = dict(os.environ,
+                   PYTHONPATH=str(REPO_ROOT / "src"),
+                   REPRO_CACHE_DIR=str(tmp_path / "cache"))
+        out = tmp_path / out_name
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "bench", "--smoke",
+             "-o", str(out), *extra],
+            cwd=str(REPO_ROOT), env=env,
+            capture_output=True, text=True)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        with open(out) as handle:
+            return json.load(handle)
+
+    def test_second_invocation_is_all_hits(self, tmp_path):
+        first = self._bench(tmp_path, "first.json")
+        second = self._bench(tmp_path, "second.json", "--expect-cached")
+        assert first["simulated"] == first["n_cells"]
+        assert second["simulated"] == 0
+        assert second["cache"]["hits"] == second["n_cells"]
+
+        def strip(report):
+            return [{k: v for k, v in row.items()
+                     if k not in ("sim_s", "wall_s", "cached")}
+                    for row in report["cells"]]
+        assert strip(first) == strip(second)

@@ -1,9 +1,13 @@
 """Tests for the experiment runner and figure/table generators."""
 
+import dataclasses
+
 import pytest
 
 from repro.config import base_machine, conventional_lsq
-from repro.harness.experiment import ExperimentRunner
+from repro.harness.engine import ResultCache, SweepEngine
+from repro.harness.experiment import (ExperimentRunner, confidence,
+                                      default_instructions)
 from repro.harness import figures
 
 
@@ -35,6 +39,95 @@ class TestRunner:
     def test_run_lsq_suite(self, runner):
         results = runner.run_lsq_suite(conventional_lsq(ports=4))
         assert all(r.config.lsq.search_ports == 4 for r in results.values())
+
+    def test_different_run_lengths_not_conflated(self):
+        """Regression: the old (benchmark, machine) result key let two
+        runners sharing a cache collide on n_instructions/seed."""
+        engine = SweepEngine()
+        short = ExperimentRunner(n_instructions=600, engine=engine)
+        long = ExperimentRunner(n_instructions=1200, engine=engine)
+        a = short.run("gzip", base_machine())
+        b = long.run("gzip", base_machine())
+        assert a.stats.committed < b.stats.committed
+
+    def test_different_seeds_not_conflated(self, runner):
+        a = runner.run("gzip", base_machine(), seed=0)
+        b = runner.run("gzip", base_machine(), seed=7)
+        assert a is not b
+        assert dataclasses.asdict(a.stats) != dataclasses.asdict(b.stats)
+
+
+class TestRunSeeds:
+    def test_run_seeds_is_cached(self):
+        """Regression: run_seeds used to call simulate() directly,
+        bypassing the result cache entirely."""
+        runner = ExperimentRunner(n_instructions=600)
+        first = runner.run_seeds("gzip", base_machine(), seeds=(0, 1))
+        simulated = runner.engine.simulated
+        second = runner.run_seeds("gzip", base_machine(), seeds=(0, 1))
+        assert runner.engine.simulated == simulated  # no new simulations
+        assert [a is b for a, b in zip(first, second)] == [True, True]
+
+    def test_run_seeds_shares_cache_with_run(self):
+        runner = ExperimentRunner(n_instructions=600)
+        by_run = runner.run("gzip", base_machine(), seed=1)
+        by_seeds = runner.run_seeds("gzip", base_machine(), seeds=(1,))[0]
+        assert by_seeds is by_run
+
+    def test_run_seeds_honours_validate(self, tmp_path):
+        """Regression: run_seeds used to drop validate=True on the
+        floor.  A validating runner must produce oracle summaries for
+        every seed (visible through the engine's disk cache)."""
+        engine = SweepEngine(cache=ResultCache(tmp_path))
+        runner = ExperimentRunner(n_instructions=400, validate=True,
+                                  engine=engine)
+        runner.run_seeds("gzip", base_machine(), seeds=(0, 1))
+        replay = SweepEngine(cache=ResultCache(tmp_path))
+        for seed in (0, 1):
+            from repro.harness.engine import Cell
+            cached = replay.run_cell(Cell(
+                benchmark="gzip", machine=base_machine(), seed=seed,
+                n_instructions=400, validate=True))
+            assert cached.cached
+            assert cached.validation is not None
+            assert cached.validation.checked_loads > 0
+
+
+class TestInstructionEnv:
+    def test_env_read_at_construction_not_import(self, monkeypatch):
+        """Regression: REPRO_BENCH_INSTRUCTIONS used to be captured at
+        import time, so setting it afterwards was silently ignored."""
+        monkeypatch.setenv("REPRO_BENCH_INSTRUCTIONS", "1234")
+        assert default_instructions() == 1234
+        assert ExperimentRunner().n_instructions == 1234
+        monkeypatch.setenv("REPRO_BENCH_INSTRUCTIONS", "777")
+        assert ExperimentRunner().n_instructions == 777
+
+    def test_explicit_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_INSTRUCTIONS", "1234")
+        assert ExperimentRunner(n_instructions=55).n_instructions == 55
+
+    def test_default_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_INSTRUCTIONS", raising=False)
+        assert ExperimentRunner().n_instructions == 6000
+
+
+class TestConfidence:
+    def test_single_value(self):
+        assert confidence([2.5]) == (2.5, 0.0)
+
+    def test_identical_values(self):
+        mean, spread = confidence([1.25, 1.25, 1.25])
+        assert mean == 1.25 and spread == 0.0
+
+    def test_spread_is_half_range(self):
+        mean, spread = confidence([1.0, 2.0, 3.0])
+        assert mean == pytest.approx(2.0)
+        assert spread == pytest.approx(1.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            confidence([])
 
 
 class TestFigures:
