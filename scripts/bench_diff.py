@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over two ``BENCH_sweep.json`` reports.
+
+Usage::
+
+    python scripts/bench_diff.py OLD.json NEW.json [--wall-tol 0.20]
+                                                   [--ipc-tol 0.001]
+
+Cells are matched on (benchmark, label, seed, n_instructions); a match
+regresses when its pure simulation time grew by more than ``--wall-tol``
+(relative, default 20%) or its IPC moved by more than ``--ipc-tol``
+(relative, default 0.1%) in either direction.  Exits non-zero on any
+regression — wire it between a baseline ``repro bench`` report and a
+fresh one (``repro bench --compare OLD.json`` is the same gate inline).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src"))
+
+from repro.harness.engine import diff_reports  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("old", help="baseline BENCH_sweep.json")
+    parser.add_argument("new", help="candidate BENCH_sweep.json")
+    parser.add_argument("--wall-tol", type=float, default=0.20,
+                        help="relative sim-time budget (default 0.20)")
+    parser.add_argument("--ipc-tol", type=float, default=0.001,
+                        help="relative IPC drift budget (default 0.001)")
+    args = parser.parse_args(argv)
+
+    reports = []
+    for path in (args.old, args.new):
+        try:
+            with open(path) as handle:
+                reports.append(json.load(handle))
+        except (OSError, ValueError) as error:
+            print(f"bench-diff: cannot read {path}: {error}",
+                  file=sys.stderr)
+            return 2
+
+    problems = diff_reports(reports[0], reports[1],
+                            wall_tol=args.wall_tol, ipc_tol=args.ipc_tol)
+    if problems:
+        print(f"bench-diff: {len(problems)} regression(s) "
+              f"({args.old} -> {args.new}):")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(f"bench-diff: no regressions ({args.old} -> {args.new})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,8 +8,14 @@ Commands
 ``figure``    regenerate one of the paper's figures/tables (optionally
               as an ASCII bar chart).
 ``sweep``     compare several LSQ presets on one benchmark.
-``trace``     generate a synthetic trace, report its characteristics,
+``gentrace``  generate a synthetic trace, report its characteristics,
               optionally save it as ``.lsqtrace``.
+``trace``     run one benchmark under the observability layer
+              (:mod:`repro.obs`): structured events, interval metrics,
+              a CPI stall-attribution stack, and a Chrome-trace/Perfetto
+              ``trace.json``.
+``profile``   cProfile one sweep cell and merge the hot-function table
+              into ``BENCH_sweep.json``.
 ``pipetrace`` draw the per-instruction pipeline diagram for the first
               instructions of a run.
 ``check``     run benchmarks × LSQ presets under the full validation
@@ -19,7 +25,8 @@ Commands
               parallel, disk-cached engine (``--jobs``, ``--cache``,
               ``--progress``) and write a machine-readable
               ``BENCH_sweep.json`` with per-cell wall time, IPC and
-              cache hit/miss counts.
+              cache hit/miss counts; ``--compare OLD.json`` gates on
+              per-cell sim-time (>20%) and IPC (>0.1%) regressions.
 ``lint``      run the simulator-aware static analyzer
               (:mod:`repro.analyze`) over the repro sources; exit
               nonzero on any non-baselined finding.
@@ -152,12 +159,116 @@ def cmd_sweep(args) -> None:
     print(f"best: {summary.best_config()}")
 
 
-def cmd_trace(args) -> None:
+def cmd_gentrace(args) -> None:
     trace = _load_trace(args)
     print(mix_report(trace))
     if args.output:
         trace.save(args.output)
         print(f"saved to {args.output}")
+
+
+def cmd_trace(args) -> None:
+    """Observe one run: events + metrics + CPI stack + Perfetto trace."""
+    from repro.obs import ObsConfig, Observer
+    from repro.obs.chrometrace import (
+        export_chrome_trace,
+        validate_chrome_trace,
+        write_chrome_trace,
+    )
+    from repro.stats.report import cpi_stack_table, format_table
+
+    if args.smoke:
+        args.benchmark = args.benchmark or SMOKE_BENCHMARKS[0]
+        args.instructions = SMOKE_INSTRUCTIONS
+    if not args.benchmark:
+        sys.exit("trace: benchmark required (or pass --smoke)")
+    trace = _load_trace(args)
+    machine = _machine(args)
+    observer = Observer(ObsConfig(sample_interval=args.sample_interval,
+                                  event_limit=args.event_limit))
+    processor = Processor(machine, obs=observer)
+    tracer = None
+    if args.pipetrace:
+        from repro.pipeline.debug import PipelineTracer
+        tracer = PipelineTracer(limit=args.pipetrace)
+        processor.tracer = tracer
+    result = processor.run(trace)
+    summary = observer.summary()
+
+    label = f"{trace.name} x {args.lsq}-{args.ports}p"
+    doc = export_chrome_trace(observer, tracer=tracer, label=label)
+    problems = validate_chrome_trace(doc)
+    if problems:
+        for problem in problems:
+            print(f"invalid trace: {problem}", file=sys.stderr)
+        sys.exit(1)
+    write_chrome_trace(args.output, doc)
+
+    stats = result.stats
+    print(f"{label}: {stats.committed} instructions in {stats.cycles} "
+          f"cycles -> IPC {stats.ipc:.2f}")
+    print(cpi_stack_table(summary.cpi_slots, summary.commit_width,
+                          stats.committed,
+                          title="\nCPI stall attribution"))
+    counts = [(kind, summary.event_counts.get(kind, 0))
+              for kind in sorted(summary.event_counts)]
+    print("\n" + format_table(["event", "count"], counts, title="Events"))
+    if summary.dropped_events:
+        print(f"  ({summary.dropped_events} events beyond the "
+              f"--event-limit were counted but not stored)")
+    print(f"\n{len(summary.samples)} metric samples every "
+          f"{args.sample_interval} cycles; trace -> {args.output} "
+          f"(load in ui.perfetto.dev)")
+    if args.pipetrace and tracer is not None:
+        print("\n" + tracer.render_recent())
+
+
+def cmd_profile(args) -> None:
+    """cProfile one sweep cell; merge the hot spots into the report."""
+    import json
+
+    from repro.harness.engine import Cell, profile_cell, sweep_report
+    from repro.stats.report import format_table
+
+    if args.benchmark not in ALL_BENCHMARKS:
+        sys.exit(f"unknown benchmark {args.benchmark!r}; choose from: "
+                 f"{', '.join(ALL_BENCHMARKS)} (profile regenerates the "
+                 "trace by name, so .lsqtrace files are not accepted)")
+    machine = _machine(args)
+    label = f"{args.lsq}-{args.ports}p"
+    cell = Cell(benchmark=args.benchmark, machine=machine, seed=args.seed,
+                n_instructions=args.instructions, label=label)
+    cell_result, rows = profile_cell(cell, top=args.top)
+    print(f"{args.benchmark} x {label}: IPC {cell_result.ipc:.2f}, "
+          f"{cell_result.sim_s:.2f}s under cProfile")
+    print(format_table(
+        ["function", "calls", "tottime (s)", "cumtime (s)"],
+        [[row["function"], row["calls"], row["tottime_s"],
+          row["cumtime_s"]] for row in rows],
+        title="\nHot functions (by internal time)"))
+
+    report = None
+    if os.path.exists(args.output):
+        try:
+            with open(args.output) as handle:
+                report = json.load(handle)
+        except (OSError, ValueError):
+            report = None
+    if not isinstance(report, dict):
+        report = sweep_report([cell_result], jobs=1, cache=None,
+                              wall_s=cell_result.wall_s)
+    report["profile"] = {
+        "benchmark": args.benchmark,
+        "label": label,
+        "seed": args.seed,
+        "n_instructions": args.instructions,
+        "sim_s": round(cell_result.sim_s, 6),
+        "hot_functions": rows,
+    }
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\nprofile merged into {args.output}")
 
 
 def cmd_pipetrace(args) -> None:
@@ -303,6 +414,21 @@ def cmd_bench(args) -> None:
               + ", ".join(f"{c.benchmark} x {c.label} seed {c.seed}"
                           for c in missed))
         sys.exit(1)
+    if args.compare:
+        from repro.harness.engine import diff_reports
+        try:
+            with open(args.compare) as handle:
+                old_report = json.load(handle)
+        except (OSError, ValueError) as error:
+            sys.exit(f"bench: cannot read --compare baseline: {error}")
+        problems = diff_reports(old_report, report)
+        if problems:
+            print(f"bench: {len(problems)} regression(s) vs "
+                  f"{args.compare}:")
+            for problem in problems:
+                print(f"  {problem}")
+            sys.exit(1)
+        print(f"bench: no regressions vs {args.compare}")
 
 
 def cmd_lint(args) -> None:
@@ -379,6 +505,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--expect-cached", action="store_true",
                        help="exit nonzero if any cell had to be "
                             "simulated (CI warm-cache assertion)")
+    bench.add_argument("--compare", metavar="OLD.json",
+                       help="perf-regression gate: exit nonzero if any "
+                            "cell's sim time grew >20%% or IPC moved "
+                            ">0.1%% vs this earlier report")
     bench.add_argument("-o", "--output", default="BENCH_sweep.json",
                        help="machine-readable sweep report path "
                             "(default: BENCH_sweep.json)")
@@ -389,10 +519,50 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(sweep, with_lsq=False)
     sweep.set_defaults(func=cmd_sweep)
 
-    trace = sub.add_parser("trace", help="generate/inspect a trace")
-    add_common(trace, with_lsq=False)
-    trace.add_argument("-o", "--output", help="save as .lsqtrace")
+    gentrace = sub.add_parser("gentrace", help="generate/inspect a trace")
+    add_common(gentrace, with_lsq=False)
+    gentrace.add_argument("-o", "--output", help="save as .lsqtrace")
+    gentrace.set_defaults(func=cmd_gentrace)
+
+    trace = sub.add_parser(
+        "trace", help="observe one run: structured events, interval "
+                      "metrics, CPI stack, Perfetto trace.json")
+    trace.add_argument("benchmark", nargs="?", default="",
+                       help=f"benchmark name ({', '.join(ALL_BENCHMARKS)}) "
+                            "or a .lsqtrace file")
+    trace.add_argument("-n", "--instructions", type=int, default=6000)
+    trace.add_argument("--lsq", choices=sorted(PRESETS),
+                       default="conventional")
+    trace.add_argument("--ports", type=int, default=2)
+    trace.add_argument("--scaled", action="store_true",
+                       help="use the 12-wide scaled machine (Sec. 4.3)")
+    trace.add_argument("--smoke", action="store_true",
+                       help="fixed tiny run (gzip, 800 instructions) "
+                            "for the CI trace-smoke gate")
+    trace.add_argument("-o", "--output", default="trace.json",
+                       help="Chrome-trace output path (default: "
+                            "trace.json; load in ui.perfetto.dev)")
+    trace.add_argument("--sample-interval", type=int, default=64,
+                       help="cycles between metric samples (default 64)")
+    trace.add_argument("--event-limit", type=int, default=65536,
+                       help="stored-event cap; per-kind counts stay "
+                            "exact beyond it (default 65536)")
+    trace.add_argument("--pipetrace", type=int, default=0, metavar="N",
+                       help="also record the last N instructions as "
+                            "pipeline slices and print the diagram")
     trace.set_defaults(func=cmd_trace)
+
+    profile = sub.add_parser(
+        "profile", help="cProfile one sweep cell; hot-function table "
+                        "into BENCH_sweep.json")
+    add_common(profile)
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument("--top", type=int, default=15,
+                         help="hot functions to keep (default 15)")
+    profile.add_argument("-o", "--output", default="BENCH_sweep.json",
+                         help="report to merge the profile into "
+                              "(default: BENCH_sweep.json)")
+    profile.set_defaults(func=cmd_profile)
 
     pipe = sub.add_parser("pipetrace", help="per-instruction pipeline view")
     add_common(pipe)

@@ -24,7 +24,12 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, List, Optional
 
+from repro.obs.events import EventBus
 from repro.pipeline.dyninst import DynInst
+
+#: Components any stage may touch directly (sim-lint SIM-M registry):
+#: the observability layer, like stats/tracer, is write-from-anywhere.
+SIM_LINT_INTERFACES = frozenset({"obs"})
 
 
 class LoadBuffer:
@@ -34,6 +39,8 @@ class LoadBuffer:
         if entries < 0:
             raise ValueError("load buffer size must be >= 0")
         self.capacity = entries
+        #: Optional event bus (repro.obs); wired by Observer.attach().
+        self.obs: Optional[EventBus] = None
         self._slots: List[Optional[DynInst]] = [None] * entries
 
     def __len__(self) -> int:
@@ -48,6 +55,9 @@ class LoadBuffer:
             if slot is None:
                 self._slots[index] = load
                 load.load_buffer_slot = index
+                if self.obs is not None:
+                    self.obs.emit("lb_insert", seq=load.seq, pc=load.pc,
+                                  arg=index)
                 return
         raise RuntimeError("insert into a full load buffer")
 
@@ -55,6 +65,9 @@ class LoadBuffer:
         index = load.load_buffer_slot
         if index >= 0 and self._slots[index] is load:
             self._slots[index] = None
+            if self.obs is not None:
+                self.obs.emit("lb_release", seq=load.seq, pc=load.pc,
+                              arg=index)
         load.load_buffer_slot = -1
 
     def search(self, load: DynInst) -> Optional[DynInst]:

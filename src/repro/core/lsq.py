@@ -42,8 +42,13 @@ from repro.core.load_buffer import LoadBuffer, NilpTracker
 from repro.core.queues import PortCalendar, SegmentedQueue
 from repro.core.store_sets import Predictor, make_predictor
 from repro.memory.hierarchy import MemoryHierarchy
+from repro.obs.events import EventBus
 from repro.pipeline.dyninst import DynInst
 from repro.stats.counters import SimStats
+
+#: Components any stage may touch directly (sim-lint SIM-M registry):
+#: the observability layer, like stats/tracer, is write-from-anywhere.
+SIM_LINT_INTERFACES = frozenset({"obs"})
 
 #: Replay penalty (cycles) when a pipelined-search contention squashes an
 #: in-flight load — "similar to a flush due to a load miss" (Section 3.2),
@@ -124,6 +129,8 @@ class LoadStoreQueue:
             self.lq_ports = PortCalendar(config.search_ports)
             self.sq_ports = PortCalendar(config.search_ports)
 
+        #: Optional event bus (repro.obs); wired by Observer.attach().
+        self.obs: Optional[EventBus] = None
         self.predictor: Predictor = make_predictor(config.predictor, ss_config, stats,
                                         clear_interval)
         self.load_buffer = LoadBuffer(config.load_buffer_entries)
@@ -344,6 +351,9 @@ class LoadStoreQueue:
 
         if not self.memory.d_ports.available(cycle):
             self.stats.dcache_port_stalls += 1
+            if self.obs is not None:
+                self.obs.emit("port_retry", seq=load.seq, pc=load.pc,
+                              note="dcache")
             return Retry(cycle + 1)
         if self.sq_ports is self.lq_ports and sq_path and lq_path:
             # Unified queue: both searches draw on one port pool, so
@@ -395,11 +405,15 @@ class LoadStoreQueue:
             for (segment, at), count in demand.items() if at == cycle)
         if shortfall_now:
             self.stats.sq_port_stalls += 1
+            if self.obs is not None:
+                self.obs.emit("port_retry", note="unified")
             return Retry(cycle + 1)
         shortfall_later = any(
             calendar.free_ports(segment, at) < count
             for (segment, at), count in demand.items() if at > cycle)
         if shortfall_later:
+            if self.obs is not None:
+                self.obs.emit("port_retry", note="unified-contention")
             if self.config.contention is ContentionPolicy.STALL:
                 self.stats.contention_stalls += 1
                 return Retry(cycle + 1)
@@ -421,8 +435,12 @@ class LoadStoreQueue:
                 stats.sq_port_stalls += 1
             else:
                 stats.lq_port_stalls += 1
+            if self.obs is not None:
+                self.obs.emit("port_retry", note=which)
             return Retry(cycle + 1)
         # busy_later: Section 3.2 contention.
+        if self.obs is not None:
+            self.obs.emit("port_retry", note=f"{which}-contention")
         if self.config.contention is ContentionPolicy.STALL:
             stats.contention_stalls += 1
             return Retry(cycle + 1)
@@ -453,11 +471,17 @@ class LoadStoreQueue:
         self.stats.sq_segment_visits += segments_searched
         hist = self.stats.segment_search_hist
         hist[segments_searched] = hist.get(segments_searched, 0) + 1
+        if self.obs is not None and segments_searched > 1:
+            self.obs.emit("segment_hop", seq=load.seq, pc=load.pc,
+                          arg=segments_searched, note="sq")
         if match is not None:
             self.stats.sq_search_matches += 1
             self.stats.forwarded_loads += 1
             load.forwarded_from = match.seq
             load.forwarded_from_pc = match.pc
+            if self.obs is not None:
+                self.obs.emit("forward", seq=load.seq, pc=load.pc,
+                              arg=match.seq)
         elif self.config.predictor in (PredictorMode.PAIR,
                                        PredictorMode.AGGRESSIVE):
             self.stats.useless_searches += 1
@@ -472,6 +496,9 @@ class LoadStoreQueue:
                     LoadQueueSearchMode.IN_ORDER_ALWAYS_SEARCH):
             self.stats.lq_searches += 1
             self.stats.lq_segment_visits += max(len(plan), 1)
+            if self.obs is not None and len(plan) > 1:
+                self.obs.emit("segment_hop", seq=load.seq, pc=load.pc,
+                              arg=len(plan), note="lq")
             for __, entries in plan:
                 for other in entries:  # oldest first
                     if other.is_load and other.mem_executed \
@@ -554,6 +581,9 @@ class LoadStoreQueue:
         """Find the oldest younger issued load with a stale value."""
         self.stats.lq_searches += 1
         self.stats.lq_segment_visits += max(len(plan), 1)
+        if self.obs is not None and len(plan) > 1:
+            self.obs.emit("segment_hop", seq=store.seq, pc=store.pc,
+                          arg=len(plan), note="lq-store")
         for __, entries in plan:
             for load in entries:  # oldest first
                 if not load.is_load or not load.mem_executed \
@@ -577,6 +607,9 @@ class LoadStoreQueue:
         store-load ordering search."""
         if not self.memory.d_ports.available(cycle):
             self.stats.dcache_port_stalls += 1
+            if self.obs is not None:
+                self.obs.emit("port_retry", seq=store.seq, pc=store.pc,
+                              note="dcache-commit")
             return Retry(cycle + 1)
 
         violation: Optional[Violation] = None
@@ -588,6 +621,9 @@ class LoadStoreQueue:
                 # Stores are no longer in the pipeline: contention is
                 # resolved by simply delaying the commit (Section 3.2).
                 self.stats.store_commit_delays += 1
+                if self.obs is not None:
+                    self.obs.emit("port_retry", seq=store.seq,
+                                  pc=store.pc, note="lq-commit")
                 return Retry(cycle + 1)
             self.lq_ports.reserve_path(path, cycle)
             violation = self._store_ordering_check(store, plan)

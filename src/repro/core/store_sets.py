@@ -43,10 +43,15 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, List, Optional, Union
 
 from repro.config import PredictorMode, StoreSetConfig
+from repro.obs.events import EventBus
 from repro.stats.counters import SimStats
 
 if TYPE_CHECKING:
     from repro.pipeline.dyninst import DynInst
+
+#: Components any stage may touch directly (sim-lint SIM-M registry):
+#: the observability layer, like stats/tracer, is write-from-anywhere.
+SIM_LINT_INTERFACES = frozenset({"obs"})
 
 #: Committed-instruction interval between table invalidations.  Chrysos
 #: & Emer clear their tables every ~1M cycles over 100M+ instruction
@@ -144,6 +149,8 @@ class PairPredictor:
         self.config = config
         self.stats = stats
         self.mode = mode
+        #: Optional event bus (repro.obs); wired by Observer.attach().
+        self.obs: Optional[EventBus] = None
         self.clear_interval = (clear_interval if clear_interval is not None
                                else config.clear_interval)
         self._clears = 0
@@ -217,6 +224,9 @@ class PairPredictor:
 
     def train_violation(self, load_pc: int, store_pc: int) -> None:
         """Merge the violating pair into a store set (Chrysos/Emer rules)."""
+        if self.obs is not None:
+            self.obs.emit("predictor_update", pc=load_pc, arg=store_pc,
+                          note="violation")
         self._merge(load_pc, store_pc)
 
     def train_pair(self, load_pc: int, store_pc: int) -> None:
@@ -224,6 +234,9 @@ class PairPredictor:
         not just violations).  No-op for plain store-set prediction."""
         if self.mode is PredictorMode.CONVENTIONAL:
             return
+        if self.obs is not None:
+            self.obs.emit("predictor_update", pc=load_pc, arg=store_pc,
+                          note="pair")
         self._merge(load_pc, store_pc)
 
     def _merge(self, load_pc: int, store_pc: int) -> None:
@@ -252,6 +265,8 @@ class PairPredictor:
         due = committed // self.clear_interval
         if due > self._clears:
             self._clears = due
+            if self.obs is not None:
+                self.obs.emit("predictor_update", arg=due, note="clear")
             self.tables.clear()
 
 
@@ -269,6 +284,8 @@ class PerfectPredictor:
     def __init__(self, config: StoreSetConfig, stats: SimStats) -> None:
         self.config = config
         self.stats = stats
+        #: Same hook surface as PairPredictor (never emitted to).
+        self.obs: Optional[EventBus] = None
 
     def on_load_dispatch(self, load: DynInst) -> None:  # noqa: D102
         pass

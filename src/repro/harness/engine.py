@@ -58,11 +58,14 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.config import MachineConfig
+from repro.obs import Observer, ObsConfig, ObsSummary
 from repro.pipeline.processor import SimulationResult, simulate
 from repro.workload import generate_trace
 
 #: Version of the cached payload format; bump to invalidate every entry.
-CACHE_SCHEMA = 1
+#: 2: cells carry an observability configuration (part of the key) and
+#: payloads an optional ObsSummary.
+CACHE_SCHEMA = 2
 
 #: Default cache directory (relative to the current working directory)
 #: when ``REPRO_CACHE_DIR`` is not set.
@@ -148,6 +151,12 @@ class Cell:
     n_instructions: int = 6000
     validate: bool = False
     label: str = ""
+    #: Observability configuration (repro.obs); ``None`` runs without
+    #: instrumentation.  Part of the cache key: although SimStats are
+    #: bit-identical either way, the cached payload differs (it carries
+    #: the ObsSummary), so a traced run must never be served where an
+    #: untraced one was asked for — or vice versa.
+    obs: Optional[ObsConfig] = None
 
     def digest(self) -> str:
         """Content address of this cell's result."""
@@ -160,6 +169,7 @@ class Cell:
                 "n_instructions": self.n_instructions,
                 "validate": self.validate,
                 "machine": _canonical(self.machine),
+                "obs": _canonical(self.obs),
             },
             sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(payload.encode()).hexdigest()
@@ -179,6 +189,8 @@ class CellResult:
     wall_s: float
     cached: bool
     validation: Optional[ValidationSummary] = None
+    #: Observability summary when the cell requested instrumentation.
+    obs: Optional[ObsSummary] = None
 
     @property
     def ipc(self) -> float:
@@ -193,6 +205,7 @@ class _StoredPayload:
     result: SimulationResult
     sim_s: float
     validation: Optional[ValidationSummary]
+    obs: Optional[ObsSummary] = None
 
 
 class ResultCache:
@@ -227,11 +240,13 @@ class ResultCache:
         return payload
 
     def store(self, digest: str, result: SimulationResult, sim_s: float,
-              validation: Optional[ValidationSummary]) -> None:
+              validation: Optional[ValidationSummary],
+              obs: Optional[ObsSummary] = None) -> None:
         path = self.path_for(digest)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = _StoredPayload(schema=CACHE_SCHEMA, result=result,
-                                 sim_s=sim_s, validation=validation)
+                                 sim_s=sim_s, validation=validation,
+                                 obs=obs)
         descriptor, tmp_name = tempfile.mkstemp(
             dir=str(path.parent), prefix=".tmp-", suffix=".pkl")
         try:
@@ -248,7 +263,8 @@ class ResultCache:
 
 
 def _simulate_cell(cell: Cell) -> Tuple[SimulationResult, float,
-                                        Optional[ValidationSummary]]:
+                                        Optional[ValidationSummary],
+                                        Optional[ObsSummary]]:
     """Worker body: regenerate the trace, simulate, summarise.
 
     Top-level (picklable) so it can run in pool workers; also the serial
@@ -263,14 +279,16 @@ def _simulate_cell(cell: Cell) -> Tuple[SimulationResult, float,
     if cell.validate:
         from repro.validate import ValidationChecker
         checker = ValidationChecker()
-    result = simulate(trace, cell.machine, checker=checker)
+    observer = Observer(cell.obs) if cell.obs is not None else None
+    result = simulate(trace, cell.machine, checker=checker, obs=observer)
     sim_s = time.perf_counter() - started  # sim-lint: ignore[SIM-D004]
     validation = None
     if checker is not None:
         validation = ValidationSummary(checked_loads=checker.checked_loads,
                                        checked_cycles=checker.checked_cycles,
                                        report=checker.report())
-    return result, sim_s, validation
+    obs_summary = observer.summary() if observer is not None else None
+    return result, sim_s, validation, obs_summary
 
 
 #: Progress callback: (finished cell, 1-based index, total).
@@ -304,16 +322,19 @@ class SweepEngine:
         return CellResult(cell=cell, result=payload.result,
                           sim_s=payload.sim_s,
                           wall_s=time.perf_counter() - started,  # sim-lint: ignore[SIM-D004]
-                          cached=True, validation=payload.validation)
+                          cached=True, validation=payload.validation,
+                          obs=payload.obs)
 
     def _finish(self, cell: Cell, digest: str, result: SimulationResult,
                 sim_s: float, wall_s: float,
-                validation: Optional[ValidationSummary]) -> CellResult:
+                validation: Optional[ValidationSummary],
+                obs: Optional[ObsSummary]) -> CellResult:
         self.simulated += 1
         if self.cache is not None:
-            self.cache.store(digest, result, sim_s, validation)
+            self.cache.store(digest, result, sim_s, validation, obs)
         return CellResult(cell=cell, result=result, sim_s=sim_s,
-                          wall_s=wall_s, cached=False, validation=validation)
+                          wall_s=wall_s, cached=False, validation=validation,
+                          obs=obs)
 
     def run_cell(self, cell: Cell) -> CellResult:
         """Run one cell in-process (cache-first)."""
@@ -322,9 +343,9 @@ class SweepEngine:
         if cached is not None:
             return cached
         started = time.perf_counter()  # sim-lint: ignore[SIM-D004]
-        result, sim_s, validation = _simulate_cell(cell)
+        result, sim_s, validation, obs = _simulate_cell(cell)
         return self._finish(cell, digest, result, sim_s,
-                            time.perf_counter() - started, validation)  # sim-lint: ignore[SIM-D004]
+                            time.perf_counter() - started, validation, obs)  # sim-lint: ignore[SIM-D004]
 
     def run_cells(self, cells: Sequence[Cell],
                   progress: Optional[ProgressFn] = None) -> List[CellResult]:
@@ -362,10 +383,10 @@ class SweepEngine:
             # with a pool, per-cell wall time is not individually
             # observable from here, and the sum is what matters.
             share = elapsed / len(missing)
-            for (index, cell, digest), (result, sim_s, validation) \
+            for (index, cell, digest), (result, sim_s, validation, obs) \
                     in zip(missing, outputs):
                 finished = self._finish(cell, digest, result, sim_s,
-                                        share, validation)
+                                        share, validation, obs)
                 results[index] = finished
                 done += 1
                 if progress is not None:
@@ -394,6 +415,7 @@ def sweep_report(results: Sequence[CellResult], *, jobs: int,
             "wall_s": round(item.wall_s, 6),
             "cached": item.cached,
             "validated": item.validation is not None,
+            "traced": item.obs is not None,
         })
     simulated = sum(1 for item in results if not item.cached)
     report: Dict[str, object] = {
@@ -413,3 +435,96 @@ def sweep_report(results: Sequence[CellResult], *, jobs: int,
         },
     }
     return report
+
+
+def profile_cell(cell: Cell,
+                 top: int = 15) -> Tuple[CellResult, List[Dict[str, object]]]:
+    """Simulate one cell under :mod:`cProfile`, in-process.
+
+    Returns the finished cell plus a hot-function table (top ``top``
+    functions by internal time) ready to merge into a
+    ``BENCH_sweep.json`` report under a ``"profile"`` key.  The run is
+    deliberately **not** written to the result cache: profiling inflates
+    ``sim_s``, and cached timings feed the perf-regression gate.
+    """
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    started = time.perf_counter()  # sim-lint: ignore[SIM-D004]
+    profiler.enable()
+    result, sim_s, validation, obs = _simulate_cell(cell)
+    profiler.disable()
+    wall_s = time.perf_counter() - started  # sim-lint: ignore[SIM-D004]
+    raw: Dict[Tuple[str, int, str], Tuple[int, int, float, float, object]] = \
+        getattr(pstats.Stats(profiler), "stats")
+    rows: List[Dict[str, object]] = []
+    ranked = sorted(raw.items(), key=lambda item: item[1][2], reverse=True)
+    for (filename, line, func), (_cc, ncalls, tottime, cumtime, _callers) \
+            in ranked[:max(top, 0)]:
+        name = func if filename == "~" else \
+            f"{os.path.basename(filename)}:{line}:{func}"
+        rows.append({
+            "function": name,
+            "calls": ncalls,
+            "tottime_s": round(tottime, 6),
+            "cumtime_s": round(cumtime, 6),
+        })
+    cell_result = CellResult(cell=cell, result=result, sim_s=sim_s,
+                             wall_s=wall_s, cached=False,
+                             validation=validation, obs=obs)
+    return cell_result, rows
+
+
+def diff_reports(old: Dict[str, object], new: Dict[str, object], *,
+                 wall_tol: float = 0.20,
+                 ipc_tol: float = 0.001) -> List[str]:
+    """Compare two ``BENCH_sweep.json`` reports; return regressions.
+
+    Cells are matched on (benchmark, label, seed, n_instructions) — not
+    on digest, which changes with every code edit.  A matched cell
+    regresses when its pure simulation time (``sim_s``, preserved across
+    the cache) grew by more than ``wall_tol`` (relative), or its IPC
+    moved by more than ``ipc_tol`` (relative) in either direction — IPC
+    is deterministic, so any drift means the simulated machine changed.
+    Returns human-readable problem strings; empty means the gate passes.
+    """
+    def _index(report: Dict[str, object]) -> Dict[Tuple[object, ...],
+                                                  Dict[str, object]]:
+        cells = report.get("cells", [])
+        out: Dict[Tuple[object, ...], Dict[str, object]] = {}
+        if isinstance(cells, list):
+            for cell in cells:
+                if isinstance(cell, dict):
+                    key = (cell.get("benchmark"), cell.get("label"),
+                           cell.get("seed"), cell.get("n_instructions"))
+                    out[key] = cell
+        return out
+
+    problems: List[str] = []
+    old_cells = _index(old)
+    new_cells = _index(new)
+    matched = 0
+    for key, new_cell in new_cells.items():
+        old_cell = old_cells.get(key)
+        if old_cell is None:
+            continue
+        matched += 1
+        tag = "/".join(str(part) for part in key)
+        old_sim = float(old_cell.get("sim_s", 0.0) or 0.0)  # type: ignore[arg-type]
+        new_sim = float(new_cell.get("sim_s", 0.0) or 0.0)  # type: ignore[arg-type]
+        if old_sim > 0 and new_sim > old_sim * (1.0 + wall_tol):
+            problems.append(
+                f"{tag}: sim time {old_sim:.3f}s -> {new_sim:.3f}s "
+                f"(+{(new_sim / old_sim - 1.0) * 100:.1f}% > "
+                f"{wall_tol * 100:.0f}% budget)")
+        old_ipc = float(old_cell.get("ipc", 0.0) or 0.0)  # type: ignore[arg-type]
+        new_ipc = float(new_cell.get("ipc", 0.0) or 0.0)  # type: ignore[arg-type]
+        if old_ipc > 0 and abs(new_ipc / old_ipc - 1.0) > ipc_tol:
+            problems.append(
+                f"{tag}: IPC {old_ipc:.6f} -> {new_ipc:.6f} "
+                f"({(new_ipc / old_ipc - 1.0) * 100:+.3f}% beyond "
+                f"±{ipc_tol * 100:.1f}%)")
+    if matched == 0:
+        problems.append("no comparable cells between the two reports")
+    return problems

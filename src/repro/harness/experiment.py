@@ -23,6 +23,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.config import LsqConfig, MachineConfig, base_machine
 from repro.harness.engine import Cell, SweepEngine
+from repro.obs import ObsConfig, ObsSummary
 from repro.pipeline.processor import SimulationResult
 from repro.workload import ALL_BENCHMARKS, generate_trace
 from repro.workload.trace import Trace
@@ -34,10 +35,12 @@ def default_instructions() -> int:
     return int(os.environ.get("REPRO_BENCH_INSTRUCTIONS", "6000"))
 
 
-#: (benchmark, machine, seed, n_instructions, validate) — everything
-#: that determines a result.  Two runners sharing an engine (or the
-#: disk cache behind it) can never collide on runner identity.
-_ResultKey = Tuple[str, MachineConfig, int, int, bool]
+#: (benchmark, machine, seed, n_instructions, validate, obs) —
+#: everything that determines a result.  Two runners sharing an engine
+#: (or the disk cache behind it) can never collide on runner identity;
+#: in particular a traced runner (obs set) never poisons the entries an
+#: untraced runner reads, and vice versa.
+_ResultKey = Tuple[str, MachineConfig, int, int, bool, Optional[ObsConfig]]
 
 
 class ExperimentRunner:
@@ -47,7 +50,8 @@ class ExperimentRunner:
                  seed: int = 0,
                  benchmarks: Iterable[str] = ALL_BENCHMARKS,
                  validate: bool = False,
-                 engine: Optional[SweepEngine] = None) -> None:
+                 engine: Optional[SweepEngine] = None,
+                 obs: Optional[ObsConfig] = None) -> None:
         self.n_instructions = (default_instructions()
                                if n_instructions is None else n_instructions)
         self.seed = seed
@@ -56,6 +60,10 @@ class ExperimentRunner:
         #: invariant checker (repro.validate) — slower, but any bench
         #: built on this runner becomes a correctness smoke test.
         self.validate = validate
+        #: Observability configuration for every run (``None`` = no
+        #: instrumentation); part of both the memo key and the cell
+        #: cache key.  Summaries are kept per run (:meth:`obs_summary`).
+        self.obs = obs
         #: Execution backend; the default is serial with no disk cache,
         #: which preserves the historical in-process behaviour.  Pass
         #: ``SweepEngine(jobs=N, cache=ResultCache())`` for parallel,
@@ -63,6 +71,7 @@ class ExperimentRunner:
         self.engine = engine if engine is not None else SweepEngine()
         self._traces: Dict[Tuple[str, int], Trace] = {}
         self._results: Dict[_ResultKey, SimulationResult] = {}
+        self._obs_summaries: Dict[_ResultKey, Optional[ObsSummary]] = {}
 
     def trace(self, benchmark: str, seed: Optional[int] = None) -> Trace:
         seed = self.seed if seed is None else seed
@@ -76,11 +85,12 @@ class ExperimentRunner:
               seed: int) -> Cell:
         return Cell(benchmark=benchmark, machine=machine, seed=seed,
                     n_instructions=self.n_instructions,
-                    validate=self.validate)
+                    validate=self.validate, obs=self.obs)
 
     def _key(self, benchmark: str, machine: MachineConfig,
              seed: int) -> _ResultKey:
-        return (benchmark, machine, seed, self.n_instructions, self.validate)
+        return (benchmark, machine, seed, self.n_instructions,
+                self.validate, self.obs)
 
     def run(self, benchmark: str, machine: MachineConfig,
             seed: Optional[int] = None) -> SimulationResult:
@@ -90,7 +100,15 @@ class ExperimentRunner:
             cell_result = self.engine.run_cell(
                 self._cell(benchmark, machine, seed))
             self._results[key] = cell_result.result
+            self._obs_summaries[key] = cell_result.obs
         return self._results[key]
+
+    def obs_summary(self, benchmark: str, machine: MachineConfig,
+                    seed: Optional[int] = None) -> Optional[ObsSummary]:
+        """Observability summary of an already-run point (``None`` when
+        the runner is untraced or the point has not been run)."""
+        seed = self.seed if seed is None else seed
+        return self._obs_summaries.get(self._key(benchmark, machine, seed))
 
     def run_suite(self, machine: MachineConfig,
                   benchmarks: Optional[Iterable[str]] = None
@@ -136,8 +154,9 @@ class ExperimentRunner:
                  for benchmark, machine, seed in missing]
         for (benchmark, machine, seed), cell_result \
                 in zip(missing, self.engine.run_cells(cells)):
-            self._results[self._key(benchmark, machine, seed)] = \
-                cell_result.result
+            key = self._key(benchmark, machine, seed)
+            self._results[key] = cell_result.result
+            self._obs_summaries[key] = cell_result.obs
 
 
 def confidence(values: List[float]) -> Tuple[float, float]:

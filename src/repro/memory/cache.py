@@ -11,6 +11,11 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.config import CacheConfig
+from repro.obs.events import EventBus
+
+#: Components any stage may touch directly (sim-lint SIM-M registry):
+#: the observability layer, like stats/tracer, is write-from-anywhere.
+SIM_LINT_INTERFACES = frozenset({"obs"})
 
 
 @dataclass
@@ -47,6 +52,8 @@ class Cache:
         # sets[i] is a list of [tag, dirty] pairs, LRU first.
         self._sets: List[List[list]] = [[] for _ in range(config.num_sets)]
         self.stats = CacheStats()
+        #: Optional event bus (repro.obs); wired by Observer.attach().
+        self.obs: Optional[EventBus] = None
 
     def _index_tag(self, addr: int):
         block = addr >> self._block_shift
@@ -64,6 +71,8 @@ class Cache:
                 self.stats.hits += 1
                 return True
         self.stats.misses += 1
+        if self.obs is not None:
+            self.obs.emit("cache_miss", arg=addr, note=self.name)
         return False
 
     def fill(self, addr: int, dirty: bool = False) -> Optional[int]:

@@ -1,0 +1,132 @@
+"""CPI stall attribution: charge every commit slot to exactly one cause.
+
+The machine retires up to ``commit_width`` instructions per cycle, so a
+run exposes ``cycles x commit_width`` *commit slots*.  Each slot either
+retired an instruction (the ``commit`` bucket — useful work) or idled
+for a reason.  This module charges every idle slot to one cause, so the
+buckets always sum to ``cycles x commit_width`` exactly — the defining
+invariant of a CPI stack, and the property the tier-1 tests assert.
+
+Attribution runs once per cycle, after commit, from the end-of-cycle
+hook.  All idle slots of a cycle share one cause, picked by the first
+matching rule:
+
+1. ROB empty inside a squash-recovery window -> ``squash_recovery``
+   (the refetch penalty of a memory-order violation);
+2. ROB empty otherwise -> ``fetch`` (I-cache misses, branch bubbles,
+   trace exhausted);
+3. ROB head waiting on a store-set prediction -> ``store_set``;
+4. ROB head lost an LSQ/D-cache port this cycle -> ``lsq_port``;
+5. ROB head is a memory op with its access in flight -> ``cache_miss``;
+6. ROB full behind an incomplete head -> ``rob_full``
+   (a long-latency non-memory chain backing the window up);
+7. anything else -> ``other`` (operand waits, FU latency).
+
+Rules 3-5 read per-cycle *deltas* of the existing ``SimStats`` counters
+rather than re-deriving pipeline state, so attribution never perturbs
+the simulation (bit-identical ``SimStats`` with the observer attached).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Mapping, Tuple
+
+if TYPE_CHECKING:
+    from repro.pipeline.processor import Processor
+
+#: Attribution buckets, in report order.  ``commit`` is useful work.
+CPI_CAUSES: Tuple[str, ...] = (
+    "commit", "fetch", "squash_recovery", "store_set", "lsq_port",
+    "cache_miss", "rob_full", "other",
+)
+
+#: SimStats counters whose per-cycle deltas drive rules 3-5.
+_DELTA_FIELDS: Tuple[str, ...] = (
+    "committed", "store_set_waits", "sq_port_stalls", "lq_port_stalls",
+    "dcache_port_stalls", "contention_stalls", "store_commit_delays",
+    "load_buffer_full_stalls",
+)
+
+
+class CpiStack:
+    """Per-cause commit-slot accounting for one simulation."""
+
+    def __init__(self, commit_width: int) -> None:
+        if commit_width < 1:
+            raise ValueError("commit width must be >= 1")
+        self.commit_width = commit_width
+        self.cycles = 0
+        self.slots: Dict[str, int] = {cause: 0 for cause in CPI_CAUSES}
+        self._last: Dict[str, int] = {}
+        self._recovery_until = -1
+
+    # -- hooks ------------------------------------------------------------
+
+    def note_recovery(self, until_cycle: int) -> None:
+        """A violation squash: refetch runs until ``until_cycle``."""
+        self._recovery_until = max(self._recovery_until, until_cycle)
+
+    def on_cycle_end(self, processor: "Processor") -> None:
+        """Attribute this cycle's ``commit_width`` slots."""
+        stats = processor.stats
+        deltas = {}
+        for name in _DELTA_FIELDS:
+            value = int(getattr(stats, name))
+            deltas[name] = value - self._last.get(name, 0)
+            self._last[name] = value
+        self.cycles += 1
+        committed = min(deltas["committed"], self.commit_width)
+        self.slots["commit"] += committed
+        idle = self.commit_width - committed
+        if idle:
+            self.slots[self._classify(processor, deltas)] += idle
+
+    def _classify(self, processor: "Processor",
+                  deltas: Mapping[str, int]) -> str:
+        head = processor.rob.head
+        if head is None:
+            if processor.cycle < self._recovery_until:
+                return "squash_recovery"
+            return "fetch"
+        if head.complete:
+            # Head retired mid-cycle and a younger incomplete head took
+            # its place, or commit stopped on a store's structural
+            # retry; charge the port if one was lost, else "other".
+            if deltas["dcache_port_stalls"] or deltas["store_commit_delays"]:
+                return "lsq_port"
+            return "other"
+        if head.is_memory and not head.mem_executed:
+            if deltas["store_set_waits"] or deltas["load_buffer_full_stalls"]:
+                return "store_set"
+            if (deltas["sq_port_stalls"] or deltas["lq_port_stalls"]
+                    or deltas["dcache_port_stalls"]
+                    or deltas["contention_stalls"]):
+                return "lsq_port"
+            return "other"
+        if head.is_memory:
+            # Address resolved, access in flight: memory latency.
+            return "cache_miss"
+        if processor.rob.full:
+            return "rob_full"
+        return "other"
+
+    # -- results ----------------------------------------------------------
+
+    @property
+    def total_slots(self) -> int:
+        return self.cycles * self.commit_width
+
+    def stack(self) -> Dict[str, int]:
+        """Slot-cycles per cause (copy); sums to :attr:`total_slots`."""
+        return dict(self.slots)
+
+    def cpi_contributions(self, committed: int) -> Dict[str, float]:
+        """Cycles-per-instruction contributed by each cause.
+
+        ``sum(values) == cycles / committed`` (the run CPI) because the
+        slot buckets sum to ``cycles x commit_width``.
+        """
+        if committed <= 0:
+            return {cause: 0.0 for cause in CPI_CAUSES}
+        return {cause: slots / self.commit_width / committed
+                for cause, slots in self.slots.items()}

@@ -39,6 +39,10 @@ from repro.stats.counters import SimStats
 from repro.workload.isa import NO_REG
 from repro.workload.trace import Trace
 
+#: Components any stage may touch directly (sim-lint SIM-M registry):
+#: the observability layer, like stats/tracer, is write-from-anywhere.
+SIM_LINT_INTERFACES = frozenset({"obs"})
+
 
 @dataclass
 class SimulationResult:
@@ -58,12 +62,16 @@ class Processor:
 
     def __init__(self, machine: MachineConfig,
                  predictor_clear_interval: Optional[int] = None,
-                 checker=None) -> None:
+                 checker=None, obs=None) -> None:
         self.machine = machine
         #: Optional ValidationChecker (repro.validate) cross-checking
         #: every committed load against the memory-model oracle and the
         #: pipeline against its structural invariants.
         self.checker = checker
+        #: Optional Observer (repro.obs): structured events, interval
+        #: metrics and CPI stall attribution.  Every hook below is
+        #: guarded by ``is not None`` so a bare run pays one comparison.
+        self.obs = obs
         self.stats = SimStats()
         self.memory = MemoryHierarchy(machine.memory)
         kwargs = {}
@@ -154,6 +162,9 @@ class Processor:
         self._trace = trace
         if self.checker is not None:
             self.checker.attach(self, trace)
+        if self.obs is not None:
+            # After warming, so warm-up traffic stays out of the events.
+            self.obs.attach(self)
         watchdog = self.machine.core.watchdog_cycles
         while not self._finished():
             self.step()
@@ -176,6 +187,8 @@ class Processor:
 
     def step(self) -> None:
         """Advance one cycle."""
+        if self.obs is not None:
+            self.obs.begin_cycle(self.cycle)
         self.lsq.begin_cycle(self.cycle)
         self._commit()
         self._complete()
@@ -186,6 +199,8 @@ class Processor:
         self.lsq.sample()
         if self.checker is not None:
             self.checker.end_cycle()
+        if self.obs is not None:
+            self.obs.end_cycle(self)
         self.cycle += 1
 
     # ------------------------------------------------------------------
@@ -351,6 +366,8 @@ class Processor:
             inst.issue_cycle = self.cycle
             if self.tracer is not None:
                 self.tracer.note("issue", inst, self.cycle)
+            if self.obs is not None:
+                self.obs.on_issue(inst)
             issued += 1
             if inst.is_memory or inst.inst.op.is_membar:
                 # One cycle of address generation (memory ops), then the
@@ -494,6 +511,8 @@ class Processor:
             self._fetch_index = squashed[-1].trace_index
         penalty = (self.machine.core.branch_mispredict_penalty
                    + violation.extra_penalty)
+        if self.obs is not None:
+            self.obs.on_recover(violation, self.cycle, penalty)
         self._fetch_stall_until = max(self._fetch_stall_until,
                                       self.cycle + penalty)
         self._last_fetch_block = -1
@@ -509,7 +528,7 @@ def simulate(trace: Trace, machine: MachineConfig,
              max_cycles: Optional[int] = None,
              predictor_clear_interval: Optional[int] = None,
              warm: bool = True, validate: bool = False,
-             checker=None) -> SimulationResult:
+             checker=None, obs=None) -> SimulationResult:
     """Run ``trace`` on ``machine`` and return the statistics.
 
     ``warm`` pre-touches caches (see :meth:`Processor.warm_caches`);
@@ -517,12 +536,15 @@ def simulate(trace: Trace, machine: MachineConfig,
     under the full memory-model oracle and cycle-level invariant
     checker (see :mod:`repro.validate`), raising ``ValidationError`` on
     the first discrepancy; pass an explicit ``checker`` to customise
-    (e.g. record-only mode for fault campaigns).
+    (e.g. record-only mode for fault campaigns).  ``obs`` attaches a
+    :class:`repro.obs.Observer` collecting structured events, interval
+    metrics and the CPI stall stack; the returned statistics are
+    bit-identical with and without it.
     """
     if checker is None and validate:
         from repro.validate import ValidationChecker
         checker = ValidationChecker()
     processor = Processor(machine,
                           predictor_clear_interval=predictor_clear_interval,
-                          checker=checker)
+                          checker=checker, obs=obs)
     return processor.run(trace, max_cycles=max_cycles, warm=warm)

@@ -56,6 +56,27 @@ def format_percent(value: float, digits: int = 1) -> str:
     return f"{value * 100:+.{digits}f}%"
 
 
+def cpi_stack_table(slots: Dict[str, int], commit_width: int,
+                    committed: int, title: str = "CPI stack") -> str:
+    """Render a CPI stall-attribution breakdown (see :mod:`repro.obs.cpi`).
+
+    ``slots`` maps cause -> commit-slot cycles; rows show each cause's
+    share of all commit slots and its cycles-per-instruction
+    contribution.  The contributions sum to the run CPI because the
+    slot buckets sum to ``cycles x commit_width``.
+    """
+    total = sum(slots.values())
+    rows = []
+    for cause, count in slots.items():
+        share = count / total if total else 0.0
+        cpi = (count / commit_width / committed) if committed else 0.0
+        rows.append([cause, count, f"{share * 100:5.1f}%", f"{cpi:.4f}"])
+    rows.append(["total", total, "100.0%" if total else "  0.0%",
+                 f"{(total / commit_width / committed) if committed else 0.0:.4f}"])
+    return format_table(["cause", "slot-cycles", "share", "CPI"],
+                        rows, title=title)
+
+
 def summarise_by_suite(per_benchmark: Dict[str, float],
                        int_names: Sequence[str],
                        fp_names: Sequence[str]) -> Dict[str, float]:

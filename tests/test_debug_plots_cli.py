@@ -53,7 +53,8 @@ class TestPipelineTracer:
     def test_render_empty_range(self, traced_run):
         assert "no recorded" in traced_run.render(10_000, 10_001)
 
-    def test_squash_recorded(self):
+    @staticmethod
+    def _violation_run():
         from tests.conftest import alu, load, store
         insts = []
         for i in range(30):
@@ -66,7 +67,21 @@ class TestPipelineTracer:
         processor = Processor(base_machine())
         processor.tracer = PipelineTracer(limit=400)
         processor.run(Trace(insts), warm=False)
-        assert processor.tracer.squashed_seqs()
+        return processor.tracer
+
+    def test_squash_recorded(self):
+        assert self._violation_run().squashed_seqs()
+
+    def test_squashed_rows_rendered_at_window(self):
+        # Regression: a render window centred on a squashed instruction
+        # must show its 'x' glyph (squashed rows used to be easy to lose
+        # at the window boundary because the squash cycle can lie far
+        # from the dispatch cycle).
+        tracer = self._violation_run()
+        for seq in sorted(tracer.squashed_seqs()):
+            text = tracer.render(seq, seq)
+            assert "x" in text.splitlines()[-1], \
+                f"squashed seq {seq} rendered without its squash glyph"
 
 
 class TestPlots:
@@ -114,18 +129,27 @@ class TestCli:
                   "--ports", "1"])
         assert "IPC" in capsys.readouterr().out
 
-    def test_trace_command_roundtrip(self, capsys, tmp_path):
+    def test_gentrace_command_roundtrip(self, capsys, tmp_path):
         out_file = str(tmp_path / "t.lsqtrace")
-        cli.main(["trace", "gzip", "-n", "500", "-o", out_file])
+        cli.main(["gentrace", "gzip", "-n", "500", "-o", out_file])
         out = capsys.readouterr().out
         assert "mix:" in out and "saved" in out
-        cli.main(["trace", out_file])
+        cli.main(["gentrace", out_file])
         assert "mix:" in capsys.readouterr().out
 
     def test_pipetrace_command(self, capsys):
         cli.main(["pipetrace", "gzip", "-n", "400", "--first", "0",
                   "--last", "10"])
         assert "cycles" in capsys.readouterr().out
+
+    def test_trace_command_with_pipetrace(self, capsys, tmp_path):
+        out_file = str(tmp_path / "trace.json")
+        cli.main(["trace", "gzip", "-n", "400", "--pipetrace", "40",
+                  "-o", out_file])
+        out = capsys.readouterr().out
+        assert "CPI stall attribution" in out
+        assert "cycles" in out          # the rendered pipetrace window
+        assert "ui.perfetto.dev" in out
 
     def test_figure_command(self, capsys, monkeypatch):
         monkeypatch.setenv("REPRO_BENCH_SUBSET", "gzip")

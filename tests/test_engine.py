@@ -23,8 +23,11 @@ from repro.harness.engine import (
     SweepEngine,
     code_version,
     config_fingerprint,
+    diff_reports,
+    profile_cell,
     sweep_report,
 )
+from repro.obs import ObsConfig
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -174,6 +177,119 @@ class TestSweepReport:
             assert set(row) >= {"benchmark", "seed", "ipc", "sim_s",
                                 "wall_s", "cached", "digest"}
         json.dumps(report)  # machine-readable for real
+
+
+class TestObsCache:
+    """A traced run must never poison the cache of an untraced run —
+    the obs configuration is part of the cell's content address."""
+
+    def test_digest_covers_obs_config(self):
+        plain = cell()
+        traced = dataclasses.replace(plain, obs=ObsConfig())
+        resampled = dataclasses.replace(plain,
+                                        obs=ObsConfig(sample_interval=32))
+        assert len({plain.digest(), traced.digest(),
+                    resampled.digest()}) == 3
+
+    def test_traced_run_does_not_poison_untraced_cache(self, tmp_path):
+        engine = SweepEngine(cache=ResultCache(tmp_path))
+        traced = engine.run_cell(dataclasses.replace(cell(),
+                                                     obs=ObsConfig()))
+        plain = engine.run_cell(cell())
+        assert engine.simulated == 2  # second run was a genuine miss
+        assert traced.obs is not None and plain.obs is None
+        assert stats_of(traced) == stats_of(plain)  # obs parity holds too
+
+    def test_obs_summary_survives_the_cache(self, tmp_path):
+        traced = dataclasses.replace(cell(), obs=ObsConfig())
+        fresh = SweepEngine(cache=ResultCache(tmp_path)).run_cell(traced)
+        cached = SweepEngine(cache=ResultCache(tmp_path)).run_cell(traced)
+        assert cached.cached
+        assert fresh.obs is not None and cached.obs == fresh.obs
+        assert fresh.obs.cycles > 0 and fresh.obs.samples
+
+    def test_parallel_obs_matches_serial(self):
+        cells = [dataclasses.replace(cell(benchmark=name),
+                                     obs=ObsConfig())
+                 for name in ("gzip", "mgrid")]
+        serial = SweepEngine(jobs=1).run_cells(cells)
+        parallel = SweepEngine(jobs=2).run_cells(cells)
+        assert [r.obs for r in serial] == [r.obs for r in parallel]
+
+    def test_runner_keys_separate_traced_and_untraced(self, tmp_path):
+        from repro.harness.experiment import ExperimentRunner
+        engine = SweepEngine(cache=ResultCache(tmp_path))
+        machine = base_machine()
+        plain = ExperimentRunner(n_instructions=600, engine=engine)
+        traced = ExperimentRunner(n_instructions=600, engine=engine,
+                                  obs=ObsConfig())
+        a = plain.run("gzip", machine)
+        b = traced.run("gzip", machine)
+        assert engine.simulated == 2
+        assert dataclasses.asdict(a.stats) == dataclasses.asdict(b.stats)
+        assert plain.obs_summary("gzip", machine) is None
+        summary = traced.obs_summary("gzip", machine)
+        assert summary is not None and summary.cycles == a.stats.cycles
+
+
+class TestProfile:
+    def test_profile_cell_returns_hot_functions(self):
+        result, rows = profile_cell(cell(n_instructions=400), top=5)
+        assert result.result.stats.committed > 0
+        assert 0 < len(rows) <= 5
+        for row in rows:
+            assert {"function", "calls", "tottime_s", "cumtime_s"} \
+                <= set(row)
+
+
+class TestBenchDiff:
+    @staticmethod
+    def _report(sim_s=1.0, ipc=1.5):
+        return {"cells": [{"benchmark": "gzip", "label": "full-1p",
+                           "seed": 0, "n_instructions": 600,
+                           "sim_s": sim_s, "ipc": ipc}]}
+
+    def test_identical_reports_pass(self):
+        assert diff_reports(self._report(), self._report()) == []
+
+    def test_wall_time_regression_flagged(self):
+        problems = diff_reports(self._report(sim_s=1.0),
+                                self._report(sim_s=1.3))
+        assert len(problems) == 1 and "sim time" in problems[0]
+
+    def test_wall_time_improvement_and_tolerance_ok(self):
+        assert diff_reports(self._report(sim_s=1.0),
+                            self._report(sim_s=0.5)) == []
+        assert diff_reports(self._report(sim_s=1.0),
+                            self._report(sim_s=1.15)) == []
+
+    def test_ipc_drift_flagged_both_directions(self):
+        for new_ipc in (1.51, 1.49):
+            problems = diff_reports(self._report(ipc=1.5),
+                                    self._report(ipc=new_ipc))
+            assert len(problems) == 1 and "IPC" in problems[0]
+
+    def test_unmatched_cells_are_ignored_but_no_overlap_fails(self):
+        other = {"cells": [{"benchmark": "mgrid", "label": "a", "seed": 0,
+                            "n_instructions": 600, "sim_s": 9.0,
+                            "ipc": 9.0}]}
+        both = {"cells": self._report()["cells"] + other["cells"]}
+        assert diff_reports(self._report(), both) == []
+        assert diff_reports(self._report(), other) \
+            == ["no comparable cells between the two reports"]
+
+    def test_script_entry_point(self, tmp_path):
+        import runpy
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        old.write_text(json.dumps(self._report(sim_s=1.0)))
+        new.write_text(json.dumps(self._report(sim_s=5.0)))
+        module = runpy.run_path(
+            str(REPO_ROOT / "scripts" / "bench_diff.py"))
+        assert module["main"]([str(old), str(old)]) == 0
+        assert module["main"]([str(old), str(new)]) == 1
+        assert module["main"]([str(old), str(new),
+                               "--wall-tol", "10"]) == 0
 
 
 @pytest.mark.slow
