@@ -12,6 +12,20 @@ regresses when its pure simulation time grew by more than ``--wall-tol``
 (relative, default 0.1%) in either direction.  Exits non-zero on any
 regression — wire it between a baseline ``repro bench`` report and a
 fresh one (``repro bench --compare OLD.json`` is the same gate inline).
+
+``--normalize`` rescales the old report's sim times by the ratio of the
+two reports' ``calibration_s`` machine-speed probes (recorded by
+``repro bench --baseline``), so a baseline committed from one machine
+can gate a run on a slower one.  The scale is clamped at 1.0 — the
+probe carries its own noise, and the gate must only ever *loosen* from
+it, never manufacture a failure.  IPC comparison is unaffected (it is
+deterministic).  Ignored with a warning when either report lacks a
+calibration.
+
+``--aggregate-wall`` applies the wall budget to the summed sim time of
+the matched cells instead of each cell individually: short cells
+flicker past any reasonable per-cell budget under ambient load, while
+the total averages the noise out.  IPC stays per-cell (it is exact).
 """
 
 import argparse
@@ -33,6 +47,14 @@ def main(argv=None) -> int:
                         help="relative sim-time budget (default 0.20)")
     parser.add_argument("--ipc-tol", type=float, default=0.001,
                         help="relative IPC drift budget (default 0.001)")
+    parser.add_argument("--normalize", action="store_true",
+                        help="rescale the old report's sim times by the "
+                             "calibration_s ratio, clamped at 1.0 so it "
+                             "only ever loosens the gate (cross-machine)")
+    parser.add_argument("--aggregate-wall", action="store_true",
+                        help="apply the wall budget to the summed sim "
+                             "time of the matched cells instead of each "
+                             "cell (noise-robust; IPC stays per-cell)")
     args = parser.parse_args(argv)
 
     reports = []
@@ -45,8 +67,27 @@ def main(argv=None) -> int:
                   file=sys.stderr)
             return 2
 
+    if args.normalize:
+        old_cal = reports[0].get("calibration_s")
+        new_cal = reports[1].get("calibration_s")
+        if not old_cal or not new_cal:
+            print("bench-diff: --normalize ignored (a report lacks "
+                  "calibration_s; only 'repro bench --baseline' "
+                  "records it)", file=sys.stderr)
+        else:
+            # Clamped at 1.0: a slower measuring machine loosens the
+            # wall budget, but a faster (or transiently lighter-loaded)
+            # one never tightens it — the probe has its own noise, and
+            # a regression gate must not manufacture failures from it.
+            scale = max(1.0, new_cal / old_cal)
+            for cell in reports[0].get("cells", []):
+                cell["sim_s"] = cell.get("sim_s", 0.0) * scale
+            print(f"bench-diff: normalized old sim times x{scale:.3f} "
+                  f"(calibration {old_cal:.3f}s -> {new_cal:.3f}s)")
+
     problems = diff_reports(reports[0], reports[1],
-                            wall_tol=args.wall_tol, ipc_tol=args.ipc_tol)
+                            wall_tol=args.wall_tol, ipc_tol=args.ipc_tol,
+                            aggregate_wall=args.aggregate_wall)
     if problems:
         print(f"bench-diff: {len(problems)} regression(s) "
               f"({args.old} -> {args.new}):")

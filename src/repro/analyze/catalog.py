@@ -84,6 +84,25 @@ RULE_CATALOG: Dict[str, RuleInfo] = {
         fixit="add the missing increment on the event path (or delete the "
               "counter)",
     ),
+    "SIM-H001": RuleInfo(
+        family="hotpath",
+        title="comprehension inside a @hotpath function",
+        rationale="a list/set/dict comprehension in a per-cycle hot path "
+                  "allocates a fresh container on every call — the "
+                  "allocation churn the committed perf baseline "
+                  "(BENCH_core.json) defends against",
+        fixit="build into preallocated/incremental state with an explicit "
+              "loop, or suppress with a comment defending the allocation",
+    ),
+    "SIM-H002": RuleInfo(
+        family="hotpath",
+        title="generator expression inside a @hotpath function",
+        rationale="a generator expression in a per-cycle hot path "
+                  "allocates a generator frame per call and adds a frame "
+                  "switch per element",
+        fixit="use an explicit loop, or suppress with a comment defending "
+              "the allocation",
+    ),
     "SIM-P001": RuleInfo(
         family="port-discipline",
         title="port booking without a dominating admission check",

@@ -118,10 +118,11 @@ class Analysis:
     def run(self) -> List[Finding]:
         """Run every rule family; return unsuppressed findings sorted."""
         from repro.analyze import (rules_counters, rules_determinism,
-                                   rules_mutation, rules_ports)
+                                   rules_hotpath, rules_mutation,
+                                   rules_ports)
         findings: List[Finding] = []
         for rule_module in (rules_determinism, rules_mutation,
-                            rules_counters, rules_ports):
+                            rules_counters, rules_ports, rules_hotpath):
             findings.extend(rule_module.check(self))
         by_path = {module.path: module for module in self.modules}
         kept = [finding for finding in findings

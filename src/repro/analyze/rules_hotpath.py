@@ -1,0 +1,74 @@
+"""SIM-H: allocation discipline inside ``@hotpath`` functions.
+
+Functions decorated with :func:`repro.core.hotpath.hotpath` are the
+per-cycle / per-search workhorses the committed perf baseline
+(``BENCH_core.json``) defends.  A comprehension or generator expression
+inside one allocates a fresh container (or frame) on every call — the
+exact churn the indexed-LSQ overhaul removed — so the family flags:
+
+``SIM-H001`` — a list/set/dict comprehension inside a hotpath function.
+
+``SIM-H002`` — a generator expression inside a hotpath function.
+
+Where a hotpath function legitimately returns a fresh container (e.g. a
+search itinerary), build it with an explicit loop over preallocated
+state, or suppress with a comment defending the allocation.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.analyze.catalog import RULE_CATALOG
+from repro.analyze.engine import Analysis, SourceModule, functions_of
+from repro.analyze.findings import Finding
+
+
+def _finding(module: SourceModule, node: ast.AST, rule: str,
+             message: str) -> Finding:
+    return Finding(rule=rule, path=module.path,
+                   line=getattr(node, "lineno", 1),
+                   column=getattr(node, "col_offset", 0),
+                   message=message, fixit=RULE_CATALOG[rule].fixit)
+
+
+def _is_hotpath(func: ast.AST) -> bool:
+    """True when ``func`` carries a ``@hotpath`` decoration (bare name,
+    attribute access, or a decorator-factory call of either)."""
+    for decorator in getattr(func, "decorator_list", []):
+        target = decorator.func if isinstance(decorator, ast.Call) \
+            else decorator
+        if isinstance(target, ast.Name) and target.id == "hotpath":
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == "hotpath":
+            return True
+    return False
+
+
+def _check_function(module: SourceModule, func: ast.AST,
+                    name: str) -> Iterator[Finding]:
+    for node in ast.walk(func):
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp)):
+            kind = {ast.ListComp: "list", ast.SetComp: "set",
+                    ast.DictComp: "dict"}[type(node)]
+            yield _finding(
+                module, node, "SIM-H001",
+                f"{kind} comprehension inside @hotpath function "
+                f"{name!r} allocates a fresh container per call")
+        elif isinstance(node, ast.GeneratorExp):
+            yield _finding(
+                module, node, "SIM-H002",
+                f"generator expression inside @hotpath function "
+                f"{name!r} allocates a generator frame per call")
+
+
+def check(analysis: Analysis) -> List[Finding]:
+    findings: List[Finding] = []
+    for module in analysis.modules:
+        for func in functions_of(module.tree):
+            if isinstance(func, ast.Module) or not _is_hotpath(func):
+                continue
+            name = getattr(func, "name", "<function>")
+            findings.extend(_check_function(module, func, name))
+    return findings

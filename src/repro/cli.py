@@ -343,6 +343,9 @@ def cmd_bench(args) -> None:
     from repro.harness.engine import Cell, sweep_report
     from repro.harness.experiment import default_instructions
 
+    if args.output is None:
+        args.output = ("BENCH_core.json" if args.baseline
+                       else "BENCH_sweep.json")
     if args.smoke:
         benchmarks = list(SMOKE_BENCHMARKS)
         presets = list(SMOKE_PRESETS)
@@ -377,6 +380,11 @@ def cmd_bench(args) -> None:
                                   seed=seed, n_instructions=n_instructions,
                                   validate=args.validate,
                                   label=f"{preset}-{ports}p"))
+
+    if args.baseline:
+        _bench_baseline(args, cells, benchmarks, presets, seeds,
+                        n_instructions)
+        return
 
     engine = _engine(args)
     print(f"bench: {len(cells)} cells ({len(benchmarks)} benchmarks x "
@@ -415,20 +423,57 @@ def cmd_bench(args) -> None:
                           for c in missed))
         sys.exit(1)
     if args.compare:
-        from repro.harness.engine import diff_reports
-        try:
-            with open(args.compare) as handle:
-                old_report = json.load(handle)
-        except (OSError, ValueError) as error:
-            sys.exit(f"bench: cannot read --compare baseline: {error}")
-        problems = diff_reports(old_report, report)
-        if problems:
-            print(f"bench: {len(problems)} regression(s) vs "
-                  f"{args.compare}:")
-            for problem in problems:
-                print(f"  {problem}")
-            sys.exit(1)
-        print(f"bench: no regressions vs {args.compare}")
+        _compare_report(args.compare, report)
+
+
+def _compare_report(old_path: str, report) -> None:
+    """The inline perf-regression gate (same as scripts/bench_diff.py)."""
+    import json
+
+    from repro.harness.engine import diff_reports
+    try:
+        with open(old_path) as handle:
+            old_report = json.load(handle)
+    except (OSError, ValueError) as error:
+        sys.exit(f"bench: cannot read --compare baseline: {error}")
+    problems = diff_reports(old_report, report)
+    if problems:
+        print(f"bench: {len(problems)} regression(s) vs {old_path}:")
+        for problem in problems:
+            print(f"  {problem}")
+        sys.exit(1)
+    print(f"bench: no regressions vs {old_path}")
+
+
+def _bench_baseline(args, cells, benchmarks, presets, seeds,
+                    n_instructions) -> None:
+    """``repro bench --baseline``: measure a fresh perf baseline.
+
+    Always simulates live (the result cache would hand back *old*
+    timings), min-of-``--reps`` per cell, plus one tracemalloc-
+    instrumented repetition for the allocation footprint.
+    """
+    import json
+
+    from repro.harness.engine import baseline_report
+
+    print(f"bench: measuring baseline over {len(cells)} cells "
+          f"({len(benchmarks)} benchmarks x {len(presets)} presets x "
+          f"{len(seeds)} seed(s), n={n_instructions}), "
+          f"min of {args.reps} rep(s)")
+    report = baseline_report(cells, reps=args.reps)
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    for row in report["cells"]:
+        print(f"  {row['benchmark']} x {row['label']} seed {row['seed']}: "
+              f"IPC {row['ipc']:.2f}, {row['sim_s']:.3f}s sim, "
+              f"{row['cycles_per_sec']:,} cycles/s, "
+              f"peak {row['alloc_peak_kb']:.0f} KiB")
+    print(f"bench: baseline sim {report['sim_s']:.2f}s "
+          f"(calibration {report['calibration_s']:.3f}s) -> {args.output}")
+    if args.compare:
+        _compare_report(args.compare, report)
 
 
 def cmd_lint(args) -> None:
@@ -509,9 +554,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="perf-regression gate: exit nonzero if any "
                             "cell's sim time grew >20%% or IPC moved "
                             ">0.1%% vs this earlier report")
-    bench.add_argument("-o", "--output", default="BENCH_sweep.json",
-                       help="machine-readable sweep report path "
-                            "(default: BENCH_sweep.json)")
+    bench.add_argument("--baseline", action="store_true",
+                       help="measure a fresh perf baseline (always "
+                            "simulates live; min of --reps repetitions "
+                            "per cell plus a tracemalloc pass) and write "
+                            "it as BENCH_core.json")
+    bench.add_argument("--reps", type=int, default=3,
+                       help="timing repetitions per cell for --baseline "
+                            "(default 3; fastest wins)")
+    bench.add_argument("-o", "--output", default=None,
+                       help="machine-readable report path (default: "
+                            "BENCH_sweep.json, or BENCH_core.json "
+                            "with --baseline)")
     add_engine_options(bench)
     bench.set_defaults(func=cmd_bench)
 

@@ -1,0 +1,23 @@
+"""Marker for the simulator's per-cycle hot paths.
+
+``@hotpath`` adds zero runtime overhead — it returns the function
+unchanged — but registers intent: sim-lint's SIM-H family keeps
+list/set/dict comprehensions and generator expressions out of decorated
+functions, because a fresh container per call on a per-cycle path is
+exactly the allocation churn the committed perf baseline
+(``BENCH_core.json``) defends against.  See ``docs/PERFORMANCE.md``
+for the host-vs-model cost separation rule the marker enforces.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+__all__ = ["hotpath"]
+
+F = TypeVar("F", bound=Callable[..., object])
+
+
+def hotpath(func: F) -> F:
+    """Mark ``func`` as per-cycle hot (enforced by sim-lint SIM-H)."""
+    return func

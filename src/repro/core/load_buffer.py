@@ -24,6 +24,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, List, Optional
 
+from repro.core.hotpath import hotpath
 from repro.obs.events import EventBus
 from repro.pipeline.dyninst import DynInst
 
@@ -42,18 +43,20 @@ class LoadBuffer:
         #: Optional event bus (repro.obs); wired by Observer.attach().
         self.obs: Optional[EventBus] = None
         self._slots: List[Optional[DynInst]] = [None] * entries
+        self._live = 0  # occupied slots, maintained incrementally
 
     def __len__(self) -> int:
-        return sum(1 for slot in self._slots if slot is not None)
+        return self._live
 
     @property
     def full(self) -> bool:
-        return all(slot is not None for slot in self._slots)
+        return self._live >= self.capacity
 
     def insert(self, load: DynInst) -> None:
         for index, slot in enumerate(self._slots):
             if slot is None:
                 self._slots[index] = load
+                self._live += 1
                 load.load_buffer_slot = index
                 if self.obs is not None:
                     self.obs.emit("lb_insert", seq=load.seq, pc=load.pc,
@@ -65,11 +68,13 @@ class LoadBuffer:
         index = load.load_buffer_slot
         if index >= 0 and self._slots[index] is load:
             self._slots[index] = None
+            self._live -= 1
             if self.obs is not None:
                 self.obs.emit("lb_release", seq=load.seq, pc=load.pc,
                               arg=index)
         load.load_buffer_slot = -1
 
+    @hotpath
     def search(self, load: DynInst) -> Optional[DynInst]:
         """Oldest younger same-address load in the buffer, if any.
 
@@ -91,6 +96,7 @@ class LoadBuffer:
             if slot is not None and slot.seq >= seq:
                 slot.load_buffer_slot = -1
                 self._slots[index] = None
+                self._live -= 1
 
     def slots(self) -> List[Optional[DynInst]]:
         """Slot-indexed snapshot (copy), for white-box validation."""
@@ -104,6 +110,8 @@ class NilpTracker:
     flight, which Table 4 reports (sampled per cycle by the LSQ) — this
     count is exactly the occupancy an unbounded load buffer would have.
     """
+
+    __slots__ = ("_pending", "ooo_in_flight")
 
     def __init__(self) -> None:
         self._pending: Deque[DynInst] = deque()
@@ -129,14 +137,30 @@ class NilpTracker:
                 passed.append(load)
         return passed
 
+    @hotpath
     def nilp_seq(self) -> Optional[int]:
         """Sequence number of the oldest non-issued load, or ``None``.
 
         Tolerates un-advanced fronts by scanning past issued entries
         (the owner collects them with :meth:`advance` at its own
-        cadence).
+        cadence).  Dead prefix entries that :meth:`advance` would pop
+        without collecting — squashed, or issued in order — are pruned
+        here too, so repeated queries stay O(1); out-of-order-issued
+        entries are left for :meth:`advance`, which owns their
+        load-buffer release.
         """
-        for load in self._pending:
+        pending = self._pending
+        while pending:
+            load = pending[0]
+            if load.squashed:
+                pending.popleft()
+            elif load.mem_executed:
+                if load.ooo_issued:
+                    break       # advance() must see this one
+                pending.popleft()
+            else:
+                return load.seq
+        for load in pending:
             if load.squashed or load.mem_executed:
                 continue
             return load.seq

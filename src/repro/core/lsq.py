@@ -38,6 +38,7 @@ from repro.config import (
     PredictorMode,
     StoreSetConfig,
 )
+from repro.core.hotpath import hotpath
 from repro.core.load_buffer import LoadBuffer, NilpTracker
 from repro.core.queues import PortCalendar, SegmentedQueue
 from repro.core.store_sets import Predictor, make_predictor
@@ -61,8 +62,12 @@ CONTENTION_REPLAY_PENALTY = 4
 #: of being woken back-to-back, costing the scheduler's load-to-use loop.
 EARLY_SCHEDULING_PENALTY = 3
 
-#: A pipelined search itinerary: ``[(segment, entries_to_scan), ...]``.
-SearchPlan = List[Tuple[int, List[DynInst]]]
+#: A pipelined search itinerary: the segment ids to visit, in order.
+#: The *entries* a search examines come from the queue's address-granule
+#: candidate index instead ("index the host, charge the model": the
+#: modeled port/segment charges follow the itinerary, the host walks
+#: only same-address candidates — see docs/PERFORMANCE.md).
+SearchPath = List[int]
 
 
 class Violation(NamedTuple):
@@ -95,6 +100,10 @@ class CommitResult(NamedTuple):
 
 class LoadStoreQueue:
     """All four LSQ designs behind one processor-facing interface."""
+
+    # No __slots__ here on purpose: there is one LoadStoreQueue per
+    # simulation (no allocation pressure) and the fault-injection
+    # harness patches its methods per instance.
 
     def __init__(self, config: LsqConfig, ss_config: StoreSetConfig,
                  memory: MemoryHierarchy, stats: SimStats,
@@ -155,7 +164,7 @@ class LoadStoreQueue:
     def sample(self) -> None:
         """Accumulate per-cycle occupancy statistics (Tables 4 and 5)."""
         if self.config.unified_queue:
-            loads = sum(1 for e in self.lq.entries() if e.is_load)
+            loads = self.lq.live_loads
             self.stats.lq_occupancy_cycles += loads
             self.stats.sq_occupancy_cycles += len(self.lq) - loads
         else:
@@ -188,6 +197,7 @@ class LoadStoreQueue:
     # load issue gating
     # ------------------------------------------------------------------
 
+    @hotpath
     def load_blocked(self, load: DynInst) -> Optional[str]:
         """Why this load may not yet access memory (None when free)."""
         if self._membar_blocks(load):
@@ -224,13 +234,25 @@ class LoadStoreQueue:
                 return True
         return False
 
+    @hotpath
     def _membar_blocks(self, inst: DynInst) -> bool:
         """True when an older in-flight memory barrier is incomplete."""
-        if not self._membars:
+        membars = self._membars
+        if not membars:
             return False
-        self._membars = [m for m in self._membars
-                         if not m.squashed and not m.complete]
-        return any(m.seq < inst.seq for m in self._membars)
+        # Prune completed/squashed barriers in place (no per-call list).
+        live = 0
+        for membar in membars:
+            if not membar.squashed and not membar.complete:
+                membars[live] = membar
+                live += 1
+        if live != len(membars):
+            del membars[live:]
+        seq = inst.seq
+        for membar in membars:
+            if membar.seq < seq:
+                return True
+        return False
 
     # ------------------------------------------------------------------
     # memory barriers (Section 2.2's software alternative)
@@ -279,10 +301,14 @@ class LoadStoreQueue:
         self._inval_cursor += 1
         self.stats.invalidation_searches += 1
         self.stats.lq_searches += 1
-        for entry in self.lq.entries():
-            if entry.mem_executed and entry.addr == addr:
-                self.stats.load_load_squashes += 1
-                return Violation(entry.seq, "load-load")
+        # Any entry whose address equals ``addr`` starts in the granule
+        # holding ``addr``, so the index bucket (seq-sorted == program
+        # order) yields the same first match as a full queue scan.
+        for bucket in self.lq.candidate_lists(addr, 1):
+            for entry in bucket:
+                if entry.mem_executed and entry.addr == addr:
+                    self.stats.load_load_squashes += 1
+                    return Violation(entry.seq, "load-load")
         return None
 
     def _note_written_line(self, addr: int) -> None:
@@ -309,11 +335,14 @@ class LoadStoreQueue:
     def _oracle_match(self, load: DynInst) -> Optional[DynInst]:
         """Youngest older overlapping store (oracle view of trace addrs)."""
         best: Optional[DynInst] = None
-        for store in self.sq.entries():
-            if store.seq >= load.seq:
-                break
-            if store.is_store and store.overlaps(load):
-                best = store
+        load_seq = load.seq
+        for bucket in self.sq.candidate_lists(load.addr, load.size):
+            for store in bucket:            # seq-sorted ascending
+                if store.seq >= load_seq:
+                    break
+                if store.is_store and store.overlaps(load) and (
+                        best is None or store.seq > best.seq):
+                    best = store
         return best
 
     # ------------------------------------------------------------------
@@ -328,6 +357,7 @@ class LoadStoreQueue:
             return self._oracle_match(load) is not None
         return self.predictor.should_search(load)
 
+    @hotpath
     def try_execute_load(self, load: DynInst,
                          cycle: int) -> Union[LoadResult, Retry]:
         """Attempt the memory-stage access for a load.
@@ -341,13 +371,11 @@ class LoadStoreQueue:
         need_lq = mode in (LoadQueueSearchMode.SEARCH_LQ,
                            LoadQueueSearchMode.IN_ORDER_ALWAYS_SEARCH)
 
-        sq_plan = self.sq.backward_plan(load.seq) if need_sq else []
-        lq_plan = self.lq.forward_plan(load.seq) if need_lq else []
         # Searches against a region the occupancy bits show empty do not
         # activate the CAM, hence need no port (the search *event* is
         # still counted against bandwidth demand, as in the paper).
-        sq_path = [seg for seg, __ in sq_plan]
-        lq_path = [seg for seg, __ in lq_plan]
+        sq_path = self.sq.backward_path(load.seq) if need_sq else []
+        lq_path = self.lq.forward_path(load.seq) if need_lq else []
 
         if not self.memory.d_ports.available(cycle):
             self.stats.dcache_port_stalls += 1
@@ -382,8 +410,8 @@ class LoadStoreQueue:
         forwarded_store: Optional[DynInst] = None
         segments_searched = 0
         if need_sq:
-            forwarded_store, segments_searched = self._sq_search(load, sq_plan)
-        violation = self._lq_ordering_check(load, lq_plan)
+            forwarded_store, segments_searched = self._sq_search(load, sq_path)
+        violation = self._lq_ordering_check(load, lq_path)
 
         latency = self._load_latency(load, forwarded_store, segments_searched,
                                      sq_path, cycle)
@@ -447,24 +475,35 @@ class LoadStoreQueue:
         stats.contention_squashes += 1
         return Retry(cycle + CONTENTION_REPLAY_PENALTY)
 
-    def _sq_search(self, load: DynInst, plan: "SearchPlan",
+    @hotpath
+    def _sq_search(self, load: DynInst, path: "SearchPath",
                    ) -> Tuple[Optional[DynInst], int]:
         """Forwarding search: youngest older overlapping *executed* store.
 
         Returns ``(store_or_None, segments_searched)`` and records the
-        bandwidth/Table 6 statistics.
+        bandwidth/Table 6 statistics.  The candidate index supplies the
+        per-segment youngest qualifying store; the modeled search still
+        visits ``path`` one segment per cycle and stops at the first
+        segment holding a match, exactly as the per-entry scan did.
         """
         self.stats.sq_searches += 1
         load.searched_sq = True
-        segments_searched = 0
-        match: Optional[DynInst] = None
-        for __, entries in plan:
-            segments_searched += 1
-            for store in entries:  # youngest first within a segment
+        load_seq = load.seq
+        best: Dict[int, DynInst] = {}
+        for bucket in self.sq.candidate_lists(load.addr, load.size):
+            for store in bucket:            # seq-sorted ascending
+                if store.seq >= load_seq:
+                    break
                 if store.is_store and store.mem_executed \
                         and store.overlaps(load):
-                    match = store
-                    break
+                    prev = best.get(store.lsq_segment)
+                    if prev is None or store.seq > prev.seq:
+                        best[store.lsq_segment] = store
+        segments_searched = 0
+        match: Optional[DynInst] = None
+        for segment in path:
+            segments_searched += 1
+            match = best.get(segment)
             if match is not None:
                 break
         segments_searched = max(segments_searched, 1)
@@ -487,24 +526,36 @@ class LoadStoreQueue:
             self.stats.useless_searches += 1
         return match, segments_searched
 
+    @hotpath
     def _lq_ordering_check(self, load: DynInst,
-                           plan: "SearchPlan") -> Optional[Violation]:
+                           path: "SearchPath") -> Optional[Violation]:
         """Load-load ordering: find a younger, already-issued,
         same-address load (Section 2.2)."""
         mode = self.config.lq_search
         if mode in (LoadQueueSearchMode.SEARCH_LQ,
                     LoadQueueSearchMode.IN_ORDER_ALWAYS_SEARCH):
             self.stats.lq_searches += 1
-            self.stats.lq_segment_visits += max(len(plan), 1)
-            if self.obs is not None and len(plan) > 1:
+            self.stats.lq_segment_visits += max(len(path), 1)
+            if self.obs is not None and len(path) > 1:
                 self.obs.emit("segment_hop", seq=load.seq, pc=load.pc,
-                              arg=len(plan), note="lq")
-            for __, entries in plan:
-                for other in entries:  # oldest first
+                              arg=len(path), note="lq")
+            load_seq = load.seq
+            best: Dict[int, DynInst] = {}
+            for bucket in self.lq.candidate_lists(load.addr, load.size):
+                for other in bucket:        # seq-sorted ascending
+                    if other.seq <= load_seq:
+                        continue
                     if other.is_load and other.mem_executed \
                             and other.overlaps(load):
+                        prev = best.get(other.lsq_segment)
+                        if prev is None or other.seq < prev.seq:
+                            best[other.lsq_segment] = other
+            if best:
+                for segment in path:   # oldest match in path order
+                    hit = best.get(segment)
+                    if hit is not None:
                         self.stats.load_load_squashes += 1
-                        return Violation(other.seq, "load-load")
+                        return Violation(hit.seq, "load-load")
             return None
         if mode is LoadQueueSearchMode.LOAD_BUFFER:
             self.stats.load_buffer_searches += 1
@@ -564,8 +615,7 @@ class LoadStoreQueue:
             self.predictor.on_store_issue(store)
             return StoreResult(violation=None)
 
-        plan = self.lq.forward_plan(store.seq)
-        path = [seg for seg, __ in plan]
+        path = self.lq.forward_path(store.seq)
         outcome = self._admit_search(self.lq_ports, path, cycle,
                                      self.stats, "lq")
         if outcome is not None:
@@ -573,32 +623,44 @@ class LoadStoreQueue:
         self.lq_ports.reserve_path(path, cycle)
         store.mem_executed = True
         self.predictor.on_store_issue(store)
-        violation = self._store_ordering_check(store, plan)
+        violation = self._store_ordering_check(store, path)
         return StoreResult(violation=violation)
 
     def _store_ordering_check(self, store: DynInst,
-                              plan: "SearchPlan") -> Optional[Violation]:
+                              path: "SearchPath") -> Optional[Violation]:
         """Find the oldest younger issued load with a stale value."""
         self.stats.lq_searches += 1
-        self.stats.lq_segment_visits += max(len(plan), 1)
-        if self.obs is not None and len(plan) > 1:
+        self.stats.lq_segment_visits += max(len(path), 1)
+        if self.obs is not None and len(path) > 1:
             self.obs.emit("segment_hop", seq=store.seq, pc=store.pc,
-                          arg=len(plan), note="lq-store")
-        for __, entries in plan:
-            for load in entries:  # oldest first
+                          arg=len(path), note="lq-store")
+        store_seq = store.seq
+        best: Dict[int, DynInst] = {}
+        for bucket in self.lq.candidate_lists(store.addr, store.size):
+            for load in bucket:             # seq-sorted ascending
+                if load.seq <= store_seq:
+                    continue
                 if not load.is_load or not load.mem_executed \
                         or not load.overlaps(store):
                     continue
                 if (load.forwarded_from is None
-                        or load.forwarded_from < store.seq):
-                    self.stats.store_load_squashes += 1
-                    self.predictor.train_violation(load.pc, store.pc)
-                    extra = 0
-                    if self.config.detection_at_commit:
-                        extra = self.pair_rollback_penalty
-                        self.stats.missed_dependences += 1
-                    return Violation(load.seq, "store-load",
-                                     extra_penalty=extra)
+                        or load.forwarded_from < store_seq):
+                    prev = best.get(load.lsq_segment)
+                    if prev is None or load.seq < prev.seq:
+                        best[load.lsq_segment] = load
+        if best:
+            for segment in path:       # oldest match in path order
+                hit = best.get(segment)
+                if hit is None:
+                    continue
+                self.stats.store_load_squashes += 1
+                self.predictor.train_violation(hit.pc, store.pc)
+                extra = 0
+                if self.config.detection_at_commit:
+                    extra = self.pair_rollback_penalty
+                    self.stats.missed_dependences += 1
+                return Violation(hit.seq, "store-load",
+                                 extra_penalty=extra)
         return None
 
     def try_commit_store(self, store: DynInst,
@@ -614,8 +676,7 @@ class LoadStoreQueue:
 
         violation: Optional[Violation] = None
         if self.config.detection_at_commit:
-            plan = self.lq.forward_plan(store.seq)
-            path = [seg for seg, __ in plan]
+            path = self.lq.forward_path(store.seq)
             state = self.lq_ports.check_path(path, cycle)
             if state != "ok":
                 # Stores are no longer in the pipeline: contention is
@@ -626,7 +687,7 @@ class LoadStoreQueue:
                                   pc=store.pc, note="lq-commit")
                 return Retry(cycle + 1)
             self.lq_ports.reserve_path(path, cycle)
-            violation = self._store_ordering_check(store, plan)
+            violation = self._store_ordering_check(store, path)
 
         # Pre-admitted: try_commit_store() only reaches this point after
         # the d_ports.available() check at its top passed for this cycle.

@@ -18,20 +18,49 @@ segment per cycle.
 :class:`PortCalendar` books per-segment search ports cycle by cycle so
 pipelined multi-segment searches can detect the contention cases of
 Section 3.2.
+
+Host-cost vs model-cost separation (see docs/PERFORMANCE.md): the queue
+keeps three incrementally-maintained views of the same entries so the
+*host* never rescans what the *model* already knows —
+
+* ``_order`` — a deque holding exactly the live window in program
+  order; commit pops the left end, squash the right, so memory stays
+  bounded by occupancy and :meth:`entries` is zero-copy.
+* ``_seg_seqs`` — per-segment sorted sequence-number lists, giving the
+  pipelined search itinerary (:meth:`backward_path` /
+  :meth:`forward_path`) by bisection instead of a full scan.
+* ``_granules`` — an address-granule index (8-byte granules) mapping
+  each granule to the seq-sorted entries touching it, so associative
+  searches visit only same-address candidates
+  (:meth:`candidate_lists`) while the *modeled* segment/port charges
+  still come from the full search itinerary.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
+from bisect import bisect_left, bisect_right
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Dict, Iterable, List, Optional, Tuple
 
 from repro.config import AllocationPolicy
+from repro.core.hotpath import hotpath
 
 if TYPE_CHECKING:
     from repro.pipeline.dyninst import DynInst
 
+#: Address-granule size used by the candidate index: two accesses can
+#: only overlap in bytes if they touch a common 8-byte granule.
+GRANULE_SHIFT = 3
+
 
 class SegmentedQueue:
     """One side of the LSQ: program-ordered entries in segments."""
+
+    __slots__ = (
+        "name", "num_segments", "segment_entries", "policy",
+        "_segments", "_seg_seqs", "_order", "_virtual", "_tail_segment",
+        "_occupied", "_granules", "live_loads",
+    )
 
     def __init__(self, name: str, segments: int, segment_entries: int,
                  policy: AllocationPolicy) -> None:
@@ -42,15 +71,25 @@ class SegmentedQueue:
         self.segment_entries = segment_entries
         self.policy = policy
         self._segments: List[List[DynInst]] = [[] for _ in range(segments)]
-        self._order: List[DynInst] = []   # program order; head at _head
-        self._head = 0
+        # Parallel per-segment seq lists (always sorted ascending):
+        # search itineraries come from bisecting these.
+        self._seg_seqs: List[List[int]] = [[] for _ in range(segments)]
+        # Live window in program order: commit pops left, squash pops
+        # right, so the deque never outgrows the queue's occupancy.
+        self._order: Deque[DynInst] = deque()
         self._virtual = 0           # ring cursor (no-self-circular)
         self._tail_segment = 0      # current tail segment (self-circular)
+        self._occupied = 0          # segments currently holding entries
+        # granule -> seq-sorted entries touching that granule.
+        self._granules: Dict[int, List[DynInst]] = {}
+        #: Loads currently in the queue (O(1) occupancy sampling for the
+        #: unified-queue configuration).
+        self.live_loads = 0
 
     # -- basic accessors ---------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._order) - self._head
+        return len(self._order)
 
     @property
     def capacity(self) -> int:
@@ -58,19 +97,19 @@ class SegmentedQueue:
 
     @property
     def empty(self) -> bool:
-        return len(self) == 0
+        return not self._order
 
     def entries(self) -> Iterable[DynInst]:
-        """In-flight entries in program order."""
-        return iter(self._order[self._head:])
+        """In-flight entries in program order (zero-copy view)."""
+        return iter(self._order)
 
     @property
     def oldest(self) -> Optional[DynInst]:
-        return self._order[self._head] if len(self) else None
+        return self._order[0] if self._order else None
 
     @property
     def youngest(self) -> Optional[DynInst]:
-        return self._order[-1] if len(self) else None
+        return self._order[-1] if self._order else None
 
     def head_segment(self) -> int:
         """Segment holding the oldest entry (tail segment when empty)."""
@@ -99,6 +138,7 @@ class SegmentedQueue:
     def can_allocate(self) -> bool:
         return self._target_segment() is not None
 
+    @hotpath
     def allocate(self, inst: DynInst) -> int:
         """Place ``inst`` (the current youngest) and return its segment."""
         target = self._target_segment()
@@ -108,37 +148,83 @@ class SegmentedQueue:
         inst.lsq_virtual = self._virtual
         self._virtual += 1
         self._tail_segment = target
-        self._segments[target].append(inst)
+        segment = self._segments[target]
+        if not segment:
+            self._occupied += 1
+        segment.append(inst)
+        self._seg_seqs[target].append(inst.seq)
         self._order.append(inst)
+        if inst.is_load:
+            self.live_loads += 1
+        granules = self._granules
+        addr = inst.addr
+        for granule in range(addr >> GRANULE_SHIFT,
+                             ((addr + inst.size - 1) >> GRANULE_SHIFT) + 1):
+            bucket = granules.get(granule)
+            if bucket is None:
+                granules[granule] = [inst]
+            else:
+                bucket.append(inst)
         return target
+
+    def _index_remove(self, inst: DynInst) -> None:
+        """Drop ``inst`` from every granule bucket it touches."""
+        granules = self._granules
+        addr = inst.addr
+        for granule in range(addr >> GRANULE_SHIFT,
+                             ((addr + inst.size - 1) >> GRANULE_SHIFT) + 1):
+            bucket = granules[granule]
+            if bucket[0] is inst:        # commit releases the oldest
+                bucket.pop(0)
+            elif bucket[-1] is inst:     # squash releases the youngest
+                bucket.pop()
+            else:
+                bucket.remove(inst)
+            if not bucket:
+                del granules[granule]
 
     # -- release ---------------------------------------------------------------
 
+    @hotpath
     def commit_head(self, inst: DynInst) -> None:
         """Release the oldest entry (must be ``inst``)."""
-        if not len(self) or self._order[self._head] is not inst:
+        order = self._order
+        if not order or order[0] is not inst:
             raise RuntimeError(f"{self.name}: commit out of order")
-        self._head += 1
+        order.popleft()
         segment = self._segments[inst.lsq_segment]
         if not segment or segment[0] is not inst:
             # The oldest overall entry is the oldest in its segment.
             raise RuntimeError(f"{self.name}: segment bookkeeping broken")
         segment.pop(0)
-        if self._head > 512:
-            del self._order[:self._head]
-            self._head = 0
+        self._seg_seqs[inst.lsq_segment].pop(0)
+        if not segment:
+            self._occupied -= 1
+        if inst.is_load:
+            self.live_loads -= 1
+        self._index_remove(inst)
 
     def squash_from(self, seq: int) -> List[DynInst]:
         """Drop every entry with sequence >= ``seq``; return them."""
         dropped: List[DynInst] = []
-        while len(self) and self._order[-1].seq >= seq:
-            inst = self._order.pop()
+        order = self._order
+        while order and order[-1].seq >= seq:
+            inst = order.pop()
             dropped.append(inst)
             segment = self._segments[inst.lsq_segment]
+            seqs = self._seg_seqs[inst.lsq_segment]
             if segment and segment[-1] is inst:
                 segment.pop()
+                seqs.pop()
             else:
-                segment.remove(inst)
+                where = segment.index(inst)
+                segment.pop(where)
+                seqs.pop(where)
+            if not segment:
+                self._occupied -= 1
+            if inst.is_load:
+                self.live_loads -= 1
+            self._index_remove(inst)
         if dropped:
             self._virtual = dropped[-1].lsq_virtual
             youngest = self.youngest
@@ -149,43 +235,107 @@ class SegmentedQueue:
                                       ) % self.num_segments
         return dropped
 
-    # -- search plans ------------------------------------------------------
+    # -- search itineraries -------------------------------------------------
+
+    @hotpath
+    def backward_path(self, seq: int) -> List[int]:
+        """Segments a backward (towards-head) search visits, in order.
+
+        Visit order starts at the segment holding the youngest entry
+        older than ``seq`` and proceeds towards the head; segments with
+        no qualifying entry are pruned by their occupancy bits.  Found
+        by bisecting the per-segment seq lists — no entry scan.
+        """
+        if self.num_segments == 1:      # flat CAM: visit segment 0 or skip
+            seqs = self._seg_seqs[0]
+            return [0] if seqs and seqs[0] < seq else []
+        keyed: List[Tuple[int, int]] = []
+        for segment, seqs in enumerate(self._seg_seqs):
+            if not seqs or seqs[0] >= seq:
+                continue
+            keyed.append((seqs[bisect_left(seqs, seq) - 1], segment))
+        keyed.sort(reverse=True)
+        path: List[int] = []
+        for __, segment in keyed:
+            path.append(segment)
+        return path
+
+    @hotpath
+    def forward_path(self, seq: int) -> List[int]:
+        """Segments a forward (towards-tail) search visits, in order.
+
+        Visit order starts at the segment holding the oldest entry
+        younger than ``seq`` and proceeds towards the tail.
+        """
+        if self.num_segments == 1:      # flat CAM: visit segment 0 or skip
+            seqs = self._seg_seqs[0]
+            return [0] if seqs and seqs[-1] > seq else []
+        keyed: List[Tuple[int, int]] = []
+        for segment, seqs in enumerate(self._seg_seqs):
+            if not seqs or seqs[-1] <= seq:
+                continue
+            keyed.append((seqs[bisect_right(seqs, seq)], segment))
+        keyed.sort()
+        path: List[int] = []
+        for __, segment in keyed:
+            path.append(segment)
+        return path
+
+    # -- candidate index ----------------------------------------------------
+
+    @hotpath
+    def candidate_lists(self, addr: int,
+                        size: int) -> List[List[DynInst]]:
+        """Seq-sorted entry lists that may overlap ``[addr, addr+size)``.
+
+        Two accesses share a byte only if they share an 8-byte granule,
+        so the union of these lists is a superset of every overlapping
+        entry; callers still apply the precise ``overlaps`` test.  The
+        returned lists are the live index buckets — read-only views.
+        """
+        granules = self._granules
+        first = addr >> GRANULE_SHIFT
+        last = (addr + size - 1) >> GRANULE_SHIFT
+        if first == last:
+            bucket = granules.get(first)
+            return [bucket] if bucket is not None else []
+        out: List[List[DynInst]] = []
+        for granule in range(first, last + 1):
+            bucket = granules.get(granule)
+            if bucket is not None:
+                out.append(bucket)
+        return out
+
+    # -- reference search plans ---------------------------------------------
 
     def backward_plan(self, seq: int) -> List[Tuple[int, List[DynInst]]]:
         """Segments to visit for a backward (towards-head) search.
 
         Returns ``[(segment, entries_older_than_seq_youngest_first), ...]``
-        starting at the segment holding the youngest older entry and
-        proceeding towards the head.  Empty segments are skipped (their
-        occupancy bits prune the search).
+        in :meth:`backward_path` order.  This is the white-box/reference
+        view (tests, validation); the simulator's hot path pairs
+        :meth:`backward_path` with :meth:`candidate_lists` instead.
         """
-        per_segment: Dict[int, List[DynInst]] = {}
-        for entry in self._order[self._head:]:
-            if entry.seq >= seq:
-                break
-            per_segment.setdefault(entry.lsq_segment, []).append(entry)
-        plan = sorted(per_segment.items(),
-                      key=lambda item: item[1][-1].seq, reverse=True)
-        return [(segment, list(reversed(entries)))
-                for segment, entries in plan]
+        plan: List[Tuple[int, List[DynInst]]] = []
+        for segment in self.backward_path(seq):
+            cut = bisect_left(self._seg_seqs[segment], seq)
+            plan.append((segment, self._segments[segment][cut - 1::-1]))
+        return plan
 
     def forward_plan(self, seq: int) -> List[Tuple[int, List[DynInst]]]:
         """Segments to visit for a forward (towards-tail) search.
 
         Returns ``[(segment, entries_younger_than_seq_oldest_first), ...]``
-        starting at the segment holding the oldest younger entry.
+        in :meth:`forward_path` order (reference view, as above).
         """
-        per_segment: Dict[int, List[DynInst]] = {}
-        for entry in reversed(self._order[self._head:]):
-            if entry.seq <= seq:
-                break
-            per_segment.setdefault(entry.lsq_segment, []).append(entry)
-        plan = sorted(per_segment.items(), key=lambda item: item[1][-1].seq)
-        return [(segment, list(reversed(entries)))
-                for segment, entries in plan]
+        plan: List[Tuple[int, List[DynInst]]] = []
+        for segment in self.forward_path(seq):
+            cut = bisect_right(self._seg_seqs[segment], seq)
+            plan.append((segment, self._segments[segment][cut:]))
+        return plan
 
     def occupied_segments(self) -> int:
-        return sum(1 for seg in self._segments if seg)
+        return self._occupied
 
     def segment_contents(self) -> List[List[DynInst]]:
         """Per-segment entry lists (copies), for white-box validation."""
@@ -194,6 +344,8 @@ class SegmentedQueue:
 
 class PortCalendar:
     """Cycle-by-cycle booking of per-segment search ports."""
+
+    __slots__ = ("ports", "_used", "_sweep_cycle")
 
     def __init__(self, ports_per_segment: int) -> None:
         if ports_per_segment <= 0:
@@ -227,8 +379,8 @@ class PortCalendar:
             return "ok"
         if not self.available(segments[0], start_cycle):
             return "busy_now"
-        for offset, segment in enumerate(segments[1:], start=1):
-            if not self.available(segment, start_cycle + offset):
+        for offset in range(1, len(segments)):
+            if not self.available(segments[offset], start_cycle + offset):
                 return "busy_later"
         return "ok"
 

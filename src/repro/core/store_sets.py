@@ -76,27 +76,31 @@ class _LfstEntry:
 class _RealTables:
     """Finite, aliasing SSIT + LFST (the realistic hardware)."""
 
+    __slots__ = ("config", "_ssit", "_lfst", "_ssit_mask", "_lfst_mask")
+
     def __init__(self, config: StoreSetConfig) -> None:
         self.config = config
         self._ssit: List[Optional[int]] = [None] * config.ssit_entries
         self._lfst = [_LfstEntry() for _ in range(config.lfst_entries)]
+        self._ssit_mask = config.ssit_entries - 1
+        self._lfst_mask = config.lfst_entries - 1
 
     def _index(self, pc: int) -> int:
         # XOR-folded so PCs that alias in the SSIT need not alias in the
         # (low-bits-indexed) instruction cache.
-        return ((pc >> 2) ^ (pc >> 14)) & (self.config.ssit_entries - 1)
+        return ((pc >> 2) ^ (pc >> 14)) & self._ssit_mask
 
     def ssid_for(self, pc: int) -> Optional[int]:
         return self._ssit[self._index(pc)]
 
     def lfst(self, ssid: int) -> _LfstEntry:
-        return self._lfst[ssid & (self.config.lfst_entries - 1)]
+        return self._lfst[ssid & self._lfst_mask]
 
     def assign(self, pc: int, ssid: int) -> None:
         self._ssit[self._index(pc)] = ssid
 
     def new_ssid(self, load_pc: int) -> int:
-        return self._index(load_pc) & (self.config.lfst_entries - 1)
+        return self._index(load_pc) & self._lfst_mask
 
     def clear(self) -> None:
         self._ssit = [None] * self.config.ssit_entries

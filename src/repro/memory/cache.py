@@ -8,7 +8,7 @@ a block and reports the victim (for write-back traffic accounting).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.config import CacheConfig
 from repro.obs.events import EventBus
@@ -42,6 +42,9 @@ class Cache:
     recently used last.  True LRU replacement.
     """
 
+    __slots__ = ("config", "name", "_block_shift", "_set_mask",
+                 "_tag_shift", "_sets", "stats", "obs")
+
     def __init__(self, config: CacheConfig, name: str = "cache") -> None:
         self.config = config
         self.name = name
@@ -49,27 +52,32 @@ class Cache:
         if (1 << self._block_shift) != config.block_bytes:
             raise ValueError("block size must be a power of two")
         self._set_mask = config.num_sets - 1
-        # sets[i] is a list of [tag, dirty] pairs, LRU first.
-        self._sets: List[List[list]] = [[] for _ in range(config.num_sets)]
+        self._tag_shift = self._set_mask.bit_length()
+        # sets[i] is a list of [tag, dirty] pairs, LRU first.  Sets are
+        # materialised on first fill: short runs touch a tiny fraction
+        # of a big L2, so eagerly building num_sets empty lists per
+        # simulation is measurable host cost for no model effect.
+        self._sets: Dict[int, List[list]] = {}
         self.stats = CacheStats()
         #: Optional event bus (repro.obs); wired by Observer.attach().
         self.obs: Optional[EventBus] = None
 
     def _index_tag(self, addr: int):
         block = addr >> self._block_shift
-        return block & self._set_mask, block >> (self._set_mask.bit_length())
+        return block & self._set_mask, block >> self._tag_shift
 
     def lookup(self, addr: int, write: bool = False) -> bool:
         """Probe for the block holding ``addr``; update LRU on hit."""
         index, tag = self._index_tag(addr)
-        entries = self._sets[index]
-        for i, entry in enumerate(entries):
-            if entry[0] == tag:
-                entries.append(entries.pop(i))
-                if write:
-                    entry[1] = True
-                self.stats.hits += 1
-                return True
+        entries = self._sets.get(index)
+        if entries:
+            for i, entry in enumerate(entries):
+                if entry[0] == tag:
+                    entries.append(entries.pop(i))
+                    if write:
+                        entry[1] = True
+                    self.stats.hits += 1
+                    return True
         self.stats.misses += 1
         if self.obs is not None:
             self.obs.emit("cache_miss", arg=addr, note=self.name)
@@ -79,7 +87,9 @@ class Cache:
         """Insert the block for ``addr``; return the victim block address
         if a dirty block was evicted (write-back), else ``None``."""
         index, tag = self._index_tag(addr)
-        entries = self._sets[index]
+        entries = self._sets.get(index)
+        if entries is None:
+            entries = self._sets[index] = []
         for entry in entries:
             if entry[0] == tag:  # already present (e.g. racing fill)
                 entry[1] = entry[1] or dirty
@@ -89,7 +99,7 @@ class Cache:
             victim_tag, victim_dirty = entries.pop(0)
             if victim_dirty:
                 self.stats.writebacks += 1
-                victim_addr = ((victim_tag << self._set_mask.bit_length() | index)
+                victim_addr = ((victim_tag << self._tag_shift | index)
                                << self._block_shift)
         entries.append([tag, dirty])
         return victim_addr
@@ -97,8 +107,9 @@ class Cache:
     def contains(self, addr: int) -> bool:
         """Non-destructive probe (no LRU update, no stats)."""
         index, tag = self._index_tag(addr)
-        return any(entry[0] == tag for entry in self._sets[index])
+        return any(entry[0] == tag
+                   for entry in self._sets.get(index, ()))
 
     def invalidate_all(self) -> None:
         """Drop every block (used between independent simulations)."""
-        self._sets = [[] for _ in range(self.config.num_sets)]
+        self._sets = {}

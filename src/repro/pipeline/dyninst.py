@@ -12,7 +12,7 @@ from __future__ import annotations
 import enum
 from typing import List, Optional
 
-from repro.workload.isa import Instruction
+from repro.workload.isa import OP_FLAGS, Instruction
 
 
 class InstState(enum.IntEnum):
@@ -25,10 +25,20 @@ class InstState(enum.IntEnum):
 
 
 class DynInst:
-    """One in-flight dynamic instruction."""
+    """One in-flight dynamic instruction.
+
+    The trace instruction's classification bits and operands
+    (``is_load`` … ``latency``) are copied into slots at construction:
+    the simulator reads them millions of times per run, and a plain
+    slot read is several times cheaper than a property chained through
+    ``Instruction`` and ``OpClass``.  They are immutable by contract
+    (``inst`` is frozen).
+    """
 
     __slots__ = (
         "seq", "trace_index", "inst", "state",
+        "is_load", "is_store", "is_memory", "is_branch", "is_membar",
+        "addr", "size", "pc", "latency",
         "pending_sources", "consumers", "prev_writer",
         "issue_cycle", "complete_cycle",
         "forwarded_from", "forwarded_from_pc", "ooo_issued",
@@ -42,6 +52,11 @@ class DynInst:
         self.trace_index = trace_index
         self.inst = inst
         self.state = InstState.DISPATCHED
+        (self.is_load, self.is_store, self.is_memory, self.is_branch,
+         self.is_membar, self.latency) = OP_FLAGS[inst.op]
+        self.addr = inst.addr
+        self.size = inst.size
+        self.pc = inst.pc
         self.pending_sources = 0
         self.consumers: List["DynInst"] = []
         self.prev_writer: Optional["DynInst"] = None
@@ -65,48 +80,28 @@ class DynInst:
     # -- convenience ------------------------------------------------------
 
     @property
-    def is_load(self) -> bool:
-        return self.inst.is_load
-
-    @property
-    def is_store(self) -> bool:
-        return self.inst.is_store
-
-    @property
-    def is_memory(self) -> bool:
-        return self.inst.is_memory
-
-    @property
-    def is_branch(self) -> bool:
-        return self.inst.is_branch
-
-    @property
-    def addr(self) -> int:
-        return self.inst.addr
-
-    @property
-    def size(self) -> int:
-        return self.inst.size
-
-    @property
-    def pc(self) -> int:
-        return self.inst.pc
-
-    @property
     def squashed(self) -> bool:
         return self.state is InstState.SQUASHED
 
     @property
     def issued(self) -> bool:
-        return self.state in (InstState.ISSUED, InstState.EXECUTING,
-                              InstState.COMPLETE, InstState.COMMITTED)
+        state = self.state
+        return (state is InstState.ISSUED or state is InstState.EXECUTING
+                or state is InstState.COMPLETE
+                or state is InstState.COMMITTED)
 
     @property
     def complete(self) -> bool:
-        return self.state in (InstState.COMPLETE, InstState.COMMITTED)
+        state = self.state
+        return state is InstState.COMPLETE or state is InstState.COMMITTED
 
     def overlaps(self, other: "DynInst") -> bool:
-        return self.inst.overlaps(other.inst)
+        """Same byte-overlap test as ``Instruction.overlaps``, over the
+        cached operand slots (the hottest predicate in the simulator)."""
+        if not (self.is_memory and other.is_memory):
+            return False
+        return (self.addr < other.addr + other.size
+                and other.addr < self.addr + self.size)
 
     def __repr__(self) -> str:
         return (f"DynInst(seq={self.seq}, pc={self.pc:#x}, "

@@ -13,6 +13,11 @@ from dataclasses import dataclass
 
 from repro.workload.isa import OpClass
 
+#: ``True`` for op classes executed by the FP pool, indexable by the
+#: ``OpClass`` value (replaces a tuple-membership test on the hot path).
+_USES_FP_POOL = tuple(op in (OpClass.FP_ALU, OpClass.FP_MUL)
+                      for op in OpClass)
+
 
 @dataclass
 class FunctionalUnitStats:
@@ -43,7 +48,7 @@ class FunctionalUnits:
     @staticmethod
     def pool_for(op: OpClass) -> str:
         """Which pool executes ``op`` ("int" or "fp")."""
-        if op in (OpClass.FP_ALU, OpClass.FP_MUL):
+        if _USES_FP_POOL[op]:
             return "fp"
         # Loads/stores (including FP loads/stores) use integer units for
         # address generation; branches resolve on integer units.
@@ -52,7 +57,7 @@ class FunctionalUnits:
     def try_issue(self, op: OpClass, cycle: int) -> bool:
         """Claim a unit slot for this cycle; False when the pool is busy."""
         self._roll(cycle)
-        if self.pool_for(op) == "fp":
+        if _USES_FP_POOL[op]:
             if self._fp_used >= self.fp_units:
                 self.stats.structural_stalls += 1
                 return False

@@ -52,7 +52,8 @@ class IssueQueue:
         """
         while self._ready:
             __, inst = heapq.heappop(self._ready)
-            if inst.squashed or inst.state is not InstState.DISPATCHED:
+            # SQUASHED is covered: it is not DISPATCHED either.
+            if inst.state is not InstState.DISPATCHED:
                 continue
             return inst
         return None

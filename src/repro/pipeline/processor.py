@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional
 
 from repro.config import MachineConfig
+from repro.core.hotpath import hotpath
 from repro.core.lsq import LoadStoreQueue, Retry, Violation
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.pipeline.branch_predictor import HybridBranchPredictor
@@ -36,7 +37,7 @@ from repro.pipeline.issue_queue import IssueQueue
 from repro.pipeline.regfile import RegisterFile
 from repro.pipeline.rob import ReorderBuffer
 from repro.stats.counters import SimStats
-from repro.workload.isa import NO_REG
+from repro.workload.isa import NO_REG, OP_FLAGS
 from repro.workload.trace import Trace
 
 #: Components any stage may touch directly (sim-lint SIM-M registry):
@@ -89,6 +90,14 @@ class Processor:
         self.regfile = RegisterFile(machine.core.int_registers,
                                     machine.core.fp_registers)
 
+        # Per-cycle loop bounds, hoisted out of the stage methods (the
+        # config dataclass attribute chain is a measurable per-cycle
+        # cost at ~hundreds of thousands of cycles per run).
+        core = machine.core
+        self._commit_width = core.commit_width
+        self._issue_width = core.issue_width
+        self._fetch_width = core.fetch_width
+
         self.cycle = 0
         self._seq = 0
         self._fetch_index = 0
@@ -126,7 +135,7 @@ class Processor:
             if block not in seen_code:
                 seen_code.add(block)
                 self.memory.instruction_access(inst.pc)
-            if inst.is_memory and not trace.is_cold_address(inst.addr):
+            if OP_FLAGS[inst.op][2] and not trace.is_cold_address(inst.addr):
                 dblock = inst.addr >> 5
                 if dblock not in seen_data:
                     seen_data.add(dblock)
@@ -146,9 +155,10 @@ class Processor:
         """
         recent_stores = {}
         for index, inst in enumerate(trace):
-            if inst.is_store:
+            flags = OP_FLAGS[inst.op]
+            if flags[1]:        # store
                 recent_stores[inst.addr] = (index, inst.pc)
-            elif inst.is_load:
+            elif flags[0]:      # load
                 hit = recent_stores.get(inst.addr)
                 if hit is not None and index - hit[0] <= window:
                     self.lsq.predictor.train_violation(inst.pc, hit[1])
@@ -207,65 +217,76 @@ class Processor:
     # 1. commit
     # ------------------------------------------------------------------
 
+    @hotpath
     def _commit(self) -> None:
-        for __ in range(self.machine.core.commit_width):
-            head = self.rob.head
-            if head is None or not head.complete:
+        rob = self.rob
+        lsq = self.lsq
+        cycle = self.cycle
+        tracer = self.tracer
+        checker = self.checker
+        stats = self.stats
+        for __ in range(self._commit_width):
+            head = rob.head
+            # ROB entries are never COMMITTED or SQUASHED (both leave
+            # the ROB), so "complete" reduces to one state check.
+            if head is None or head.state is not InstState.COMPLETE:
                 return
             violation: Optional[Violation] = None
             if head.is_store:
-                outcome = self.lsq.try_commit_store(head, self.cycle)
+                outcome = lsq.try_commit_store(head, cycle)
                 if isinstance(outcome, Retry):
                     return
                 violation = outcome.violation
             elif head.is_load:
-                self.lsq.commit_load(head)
-            self.rob.commit_head()
+                lsq.commit_load(head)
+            rob.commit_head()
             self.regfile.release(head.inst.dest)
-            if self.tracer is not None:
-                self.tracer.note("commit", head, self.cycle)
-            if self.checker is not None:
-                self.checker.on_commit(head)
-            self._count_commit(head)
-            self._last_commit_cycle = self.cycle
-            self.lsq.maybe_clear_predictor(self.stats.committed)
+            if tracer is not None:
+                tracer.note("commit", head, cycle)
+            if checker is not None:
+                checker.on_commit(head)
+            stats.committed += 1
+            if head.is_load:
+                stats.committed_loads += 1
+            elif head.is_store:
+                stats.committed_stores += 1
+            elif head.is_branch:
+                stats.committed_branches += 1
+            elif head.is_membar:
+                stats.committed_membars += 1
+            self._last_commit_cycle = cycle
+            lsq.maybe_clear_predictor(stats.committed)
             if violation is not None:
                 self._recover(violation)
                 return
-
-    def _count_commit(self, inst: DynInst) -> None:
-        self.stats.committed += 1
-        if inst.is_load:
-            self.stats.committed_loads += 1
-        elif inst.is_store:
-            self.stats.committed_stores += 1
-        elif inst.is_branch:
-            self.stats.committed_branches += 1
-        elif inst.inst.op.is_membar:
-            self.stats.committed_membars += 1
 
     # ------------------------------------------------------------------
     # 2. complete / writeback
     # ------------------------------------------------------------------
 
-    def _schedule_completion(self, inst: DynInst, at_cycle: int) -> None:
-        self._events.setdefault(at_cycle, []).append(inst)
-
+    @hotpath
     def _complete(self) -> None:
-        for inst in self._events.pop(self.cycle, []):
-            if inst.squashed:
+        events = self._events.pop(self.cycle, None)
+        if events is None:
+            return
+        cycle = self.cycle
+        tracer = self.tracer
+        iq_wake = self.iq.wake
+        for inst in events:
+            if inst.state is InstState.SQUASHED:
                 continue
             inst.state = InstState.COMPLETE
-            inst.complete_cycle = self.cycle
-            if self.tracer is not None:
-                self.tracer.note("complete", inst, self.cycle)
+            inst.complete_cycle = cycle
+            if tracer is not None:
+                tracer.note("complete", inst, cycle)
             for consumer in inst.consumers:
-                if consumer.squashed:
+                state = consumer.state
+                if state is InstState.SQUASHED:
                     continue
                 consumer.pending_sources -= 1
                 if (consumer.pending_sources == 0
-                        and consumer.state is InstState.DISPATCHED):
-                    self.iq.wake(consumer)
+                        and state is InstState.DISPATCHED):
+                    iq_wake(consumer)
             if inst is self._redirect_branch:
                 self._redirect_branch = None
                 bubble = max(self.machine.core.branch_mispredict_penalty - 2,
@@ -277,176 +298,205 @@ class Processor:
     # 3. memory stage
     # ------------------------------------------------------------------
 
+    @hotpath
     def _memory_stage(self) -> None:
-        invalidation = self.lsq.poll_invalidation(self.cycle)
+        lsq = self.lsq
+        cycle = self.cycle
+        invalidation = lsq.poll_invalidation(cycle)
         if invalidation is not None:
             self._recover(invalidation)
             return
+        mem_stage = self._mem_stage
+        stats = self.stats
         index = 0
-        while index < len(self._mem_stage):
-            entry = self._mem_stage[index]
-            __, inst, attempt = entry
-            if inst.squashed:
-                self._mem_stage.pop(index)
+        while index < len(mem_stage):
+            entry = mem_stage[index]
+            inst = entry[1]
+            if inst.state is InstState.SQUASHED:
+                mem_stage.pop(index)
                 continue
-            if attempt > self.cycle:
+            if entry[2] > cycle:
                 index += 1
                 continue
             if inst.is_load:
-                reason = self.lsq.load_blocked(inst)
+                reason = lsq.load_blocked(inst)
                 if reason is not None:
                     if reason == "load_buffer_full":
-                        self.stats.load_buffer_full_stalls += 1
+                        stats.load_buffer_full_stalls += 1
                     elif reason == "store_set":
-                        self.stats.store_set_waits += 1
+                        stats.store_set_waits += 1
                     index += 1
                     continue
-                outcome = self.lsq.try_execute_load(inst, self.cycle)
+                outcome = lsq.try_execute_load(inst, cycle)
                 if isinstance(outcome, Retry):
                     entry[2] = outcome.next_cycle
                     index += 1
                     continue
-                self._mem_stage.pop(index)
+                mem_stage.pop(index)
                 inst.state = InstState.EXECUTING
-                self._schedule_completion(inst, self.cycle + outcome.latency)
+                self._events.setdefault(cycle + outcome.latency,
+                                        []).append(inst)
                 if self.checker is not None:
                     self.checker.on_load_executed(inst, outcome.violation)
                 if outcome.violation is not None:
                     self._recover(outcome.violation)
                     return
             elif inst.is_store:
-                if self.lsq.store_blocked(inst) is not None:
+                if lsq.store_blocked(inst) is not None:
                     index += 1
                     continue
-                outcome = self.lsq.try_execute_store(inst, self.cycle)
+                outcome = lsq.try_execute_store(inst, cycle)
                 if isinstance(outcome, Retry):
                     entry[2] = outcome.next_cycle
                     index += 1
                     continue
-                self._mem_stage.pop(index)
+                mem_stage.pop(index)
                 inst.state = InstState.COMPLETE
-                inst.complete_cycle = self.cycle
+                inst.complete_cycle = cycle
                 if self.tracer is not None:
-                    self.tracer.note("complete", inst, self.cycle)
+                    self.tracer.note("complete", inst, cycle)
                 if outcome.violation is not None:
                     self._recover(outcome.violation)
                     return
             else:  # memory barrier
-                outcome = self.lsq.try_execute_membar(inst, self.cycle)
+                outcome = lsq.try_execute_membar(inst, cycle)
                 if isinstance(outcome, Retry):
                     entry[2] = outcome.next_cycle
                     index += 1
                     continue
-                self._mem_stage.pop(index)
+                mem_stage.pop(index)
                 inst.state = InstState.COMPLETE
-                inst.complete_cycle = self.cycle
+                inst.complete_cycle = cycle
                 if self.tracer is not None:
-                    self.tracer.note("complete", inst, self.cycle)
+                    self.tracer.note("complete", inst, cycle)
 
     # ------------------------------------------------------------------
     # 4. issue
     # ------------------------------------------------------------------
 
+    @hotpath
     def _issue(self) -> None:
         issued = 0
         deferred: List[DynInst] = []
         attempts = 0
-        max_attempts = self.machine.core.issue_width * 3
-        while issued < self.machine.core.issue_width and \
-                attempts < max_attempts:
+        width = self._issue_width
+        max_attempts = width * 3
+        iq = self.iq
+        fus = self.fus
+        cycle = self.cycle
+        tracer = self.tracer
+        obs = self.obs
+        mem_stage = self._mem_stage
+        events = self._events
+        while issued < width and attempts < max_attempts:
             attempts += 1
-            inst = self.iq.pop_ready()
+            inst = iq.pop_ready()
             if inst is None:
                 break
-            if not self.fus.try_issue(inst.inst.op, self.cycle):
+            if not fus.try_issue(inst.inst.op, cycle):
                 deferred.append(inst)
                 continue
-            self.iq.release()
+            iq.release()
             inst.state = InstState.ISSUED
-            inst.issue_cycle = self.cycle
-            if self.tracer is not None:
-                self.tracer.note("issue", inst, self.cycle)
-            if self.obs is not None:
-                self.obs.on_issue(inst)
+            inst.issue_cycle = cycle
+            if tracer is not None:
+                tracer.note("issue", inst, cycle)
+            if obs is not None:
+                obs.on_issue(inst)
             issued += 1
-            if inst.is_memory or inst.inst.op.is_membar:
+            if inst.is_memory or inst.is_membar:
                 # One cycle of address generation (memory ops), then the
                 # LSQ access; barriers wait here for older memory ops.
-                bisect.insort(self._mem_stage,
-                              [inst.seq, inst, self.cycle + 1])
+                bisect.insort(mem_stage, [inst.seq, inst, cycle + 1])
             else:
-                self._schedule_completion(
-                    inst, self.cycle + inst.inst.latency)
+                events.setdefault(cycle + inst.latency, []).append(inst)
         for inst in deferred:
-            self.iq.unpop(inst)
+            iq.unpop(inst)
 
     # ------------------------------------------------------------------
     # 5. dispatch
     # ------------------------------------------------------------------
 
+    @hotpath
     def _dispatch(self) -> None:
-        for __ in range(self.machine.core.issue_width):
-            if not self._fetch_buffer:
+        fetch_buffer = self._fetch_buffer
+        if not fetch_buffer:
+            return
+        rob = self.rob
+        iq = self.iq
+        regfile = self.regfile
+        lsq = self.lsq
+        stats = self.stats
+        tracer = self.tracer
+        checker = self.checker
+        for __ in range(self._issue_width):
+            if not fetch_buffer:
                 return
-            inst = self._fetch_buffer[0]
-            if self.rob.full:
-                self.stats.rob_full_stalls += 1
+            inst = fetch_buffer[0]
+            if rob.full:
+                stats.rob_full_stalls += 1
                 return
-            if self.iq.full:
-                self.stats.iq_full_stalls += 1
+            if iq.full:
+                stats.iq_full_stalls += 1
                 return
-            if inst.is_memory and not self.lsq.can_allocate(inst):
+            if inst.is_memory and not lsq.can_allocate(inst):
                 if inst.is_load:
-                    self.stats.lq_full_stalls += 1
+                    stats.lq_full_stalls += 1
                 else:
-                    self.stats.sq_full_stalls += 1
+                    stats.sq_full_stalls += 1
                 return
-            if not self.regfile.can_rename(inst.inst.dest):
-                self.regfile.note_rename_stall()
+            if not regfile.can_rename(inst.inst.dest):
+                regfile.note_rename_stall()
                 return
-            self._fetch_buffer.popleft()
-            if self.tracer is not None:
-                self.tracer.note("dispatch", inst, self.cycle)
+            fetch_buffer.popleft()
+            if tracer is not None:
+                tracer.note("dispatch", inst, self.cycle)
             self._wire_dependences(inst)
-            self.regfile.rename(inst.inst.dest)
-            self.rob.dispatch(inst)
-            self.iq.dispatch(inst)
+            regfile.rename(inst.inst.dest)
+            rob.dispatch(inst)
+            iq.dispatch(inst)
             if inst.is_memory:
-                self.lsq.allocate(inst)
-                if self.checker is not None:
-                    self.checker.on_dispatch(inst)
-            elif inst.inst.op.is_membar:
-                self.lsq.on_membar_dispatch(inst)
+                lsq.allocate(inst)
+                if checker is not None:
+                    checker.on_dispatch(inst)
+            elif inst.is_membar:
+                lsq.on_membar_dispatch(inst)
 
+    @hotpath
     def _wire_dependences(self, inst: DynInst) -> None:
+        last_writer = self._last_writer
         for src in inst.inst.srcs:
             if src == NO_REG:
                 continue
-            writer = self._last_writer.get(src)
-            if writer is not None and not writer.complete \
-                    and not writer.squashed:
+            writer = last_writer.get(src)
+            # state < COMPLETE means DISPATCHED/ISSUED/EXECUTING — i.e.
+            # neither complete nor squashed — in one integer compare.
+            if writer is not None and writer.state < InstState.COMPLETE:
                 writer.consumers.append(inst)
                 inst.pending_sources += 1
         dest = inst.inst.dest
         if dest != NO_REG:
-            inst.prev_writer = self._last_writer.get(dest)
-            self._last_writer[dest] = inst
+            inst.prev_writer = last_writer.get(dest)
+            last_writer[dest] = inst
 
     # ------------------------------------------------------------------
     # 6. fetch
     # ------------------------------------------------------------------
 
+    @hotpath
     def _fetch(self) -> None:
         if self.cycle < self._fetch_stall_until:
             return
         if self._redirect_branch is not None:
             return
         trace = self._trace
+        trace_len = len(trace)
+        fetch_buffer = self._fetch_buffer
         fetched = 0
-        limit = self.machine.core.fetch_width
+        limit = self._fetch_width
         buffer_cap = 2 * limit
-        while (fetched < limit and len(self._fetch_buffer) < buffer_cap
-                and self._fetch_index < len(trace)):
+        while (fetched < limit and len(fetch_buffer) < buffer_cap
+                and self._fetch_index < trace_len):
             raw = trace[self._fetch_index]
             block = raw.pc >> 6
             if block != self._last_fetch_block:
@@ -458,9 +508,9 @@ class Processor:
             dyn = DynInst(self._seq, self._fetch_index, raw)
             self._seq += 1
             self._fetch_index += 1
-            self._fetch_buffer.append(dyn)
+            fetch_buffer.append(dyn)
             fetched += 1
-            if raw.is_branch:
+            if dyn.is_branch:
                 correct = self.branch_predictor.predict_and_update(
                     raw.pc, raw.taken)
                 if not correct:

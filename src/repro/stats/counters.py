@@ -15,7 +15,9 @@ The counters map one-to-one onto the paper's reported metrics:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
 from typing import Dict
 
 
@@ -147,3 +149,23 @@ class SimStats:
             return {}
         return {k: v / total
                 for k, v in sorted(self.segment_search_hist.items())}
+
+
+def canonical_stats(stats: "SimStats") -> str:
+    """Canonical JSON encoding of every counter in ``stats``.
+
+    Keys are sorted, histogram keys stringified in numeric order, and
+    separators fixed, so two SimStats objects encode identically iff
+    every counter is identical — the basis of the golden-digest parity
+    suite that pins simulator semantics across performance work.
+    """
+    payload = asdict(stats)
+    for key, value in payload.items():
+        if isinstance(value, dict):
+            payload[key] = {str(k): v for k, v in sorted(value.items())}
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def stats_digest(stats: "SimStats") -> str:
+    """SHA-256 over :func:`canonical_stats` — one hex string per run."""
+    return hashlib.sha256(canonical_stats(stats).encode()).hexdigest()

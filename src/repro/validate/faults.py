@@ -126,13 +126,13 @@ class DropSegmentSearchFault(FaultInjector):
         lsq = processor.lsq
         original = lsq._sq_search
 
-        def corrupted(load, plan):
-            if plan and self.rng.random() < self.rate:
+        def corrupted(load, path):
+            if path and self.rng.random() < self.rate:
                 self._record(processor, load,
-                             f"dropped segment {plan[0][0]} (the youngest "
+                             f"dropped segment {path[0]} (the youngest "
                              f"stores) from the forwarding search")
-                plan = plan[1:]
-            return original(load, plan)
+                path = path[1:]
+            return original(load, path)
 
         lsq._sq_search = corrupted
 

@@ -80,6 +80,16 @@ EXECUTION_LATENCY = {
     OpClass.MEMBAR: 1,
 }
 
+#: ``(is_load, is_store, is_memory, is_branch, is_membar, latency)``
+#: per functional class, indexable by the ``OpClass`` value.  Hot
+#: constructors and per-trace scans read this table instead of chaining
+#: through the ``OpClass`` properties (one tuple index replaces five
+#: descriptor calls per instruction).
+OP_FLAGS: Tuple[Tuple[bool, bool, bool, bool, bool, int], ...] = tuple(
+    (op.is_load, op.is_store, op.is_memory, op.is_branch, op.is_membar,
+     EXECUTION_LATENCY[op])
+    for op in OpClass)
+
 
 @dataclass(frozen=True)
 class Instruction:
@@ -115,10 +125,12 @@ class Instruction:
     target: int = 0
 
     def __post_init__(self) -> None:
-        if self.op.is_memory and self.addr < 0:
-            raise ValueError(f"memory instruction at pc={self.pc:#x} needs an address")
-        if self.op.is_memory and self.size <= 0:
-            raise ValueError("memory access size must be positive")
+        if OP_FLAGS[self.op][2]:  # is_memory, sans two property chains
+            if self.addr < 0:
+                raise ValueError(
+                    f"memory instruction at pc={self.pc:#x} needs an address")
+            if self.size <= 0:
+                raise ValueError("memory access size must be positive")
 
     @property
     def is_load(self) -> bool:

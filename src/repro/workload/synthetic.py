@@ -53,7 +53,8 @@ from repro.workload.addrgen import (
     StackStream,
     StridedStream,
 )
-from repro.workload.isa import FP_REG_BASE, NO_REG, Instruction, OpClass
+from repro.workload.isa import (FP_REG_BASE, NO_REG, OP_FLAGS, Instruction,
+                                OpClass)
 from repro.workload.spec2k import BenchmarkProfile, profile_for
 from repro.workload.trace import Trace
 
@@ -620,7 +621,8 @@ class SyntheticProgram:
 
     def _emit_slot(self, rng: random.Random, slot: _Slot, iteration: int,
                    last_phase_iteration: bool) -> Instruction:
-        if slot.op.is_memory:
+        flags = OP_FLAGS[slot.op]
+        if flags[2]:  # is_memory
             if slot.advance_period > 1:
                 if slot.last_addr < 0 or iteration % slot.advance_period == 0:
                     slot.last_addr = slot.stream.next_address()
@@ -634,7 +636,7 @@ class SyntheticProgram:
                 addr = _NOISE_BASE + ((addr ^ (slot.pc << 4)) & 0xFFFF)
             return Instruction(pc=slot.pc, op=slot.op, dest=slot.dest,
                                srcs=slot.srcs, addr=addr, size=8)
-        if slot.op.is_branch:
+        if flags[3]:  # is_branch
             if slot.is_backedge:
                 taken = not last_phase_iteration
             else:
