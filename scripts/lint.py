@@ -10,8 +10,8 @@ Runs, in order:
 1. ``repro lint`` (the simulator-aware analyzer of :mod:`repro.analyze`)
    over ``src/repro``;
 2. ``mypy --strict`` over the strictly-typed subset (``repro.core``,
-   ``repro.config``, ``repro.obs`` and the sweep engine), when mypy is
-   importable.
+   ``repro.config``, ``repro.obs``, ``repro.litmus`` and the sweep
+   engine), when mypy is importable.
 
 mypy is an optional dependency (``pip install -e .[lint]``); without it
 step 2 is skipped with a notice, unless ``--require-mypy`` is given
@@ -35,6 +35,7 @@ STRICT_TARGETS = [
     os.path.join("src", "repro", "config.py"),
     os.path.join("src", "repro", "harness", "engine.py"),
     os.path.join("src", "repro", "obs"),
+    os.path.join("src", "repro", "litmus"),
 ]
 
 

@@ -62,6 +62,14 @@ PRESETS: Dict[str, callable] = {
     "full": full_techniques_lsq,
 }
 
+#: Exit codes for the validation-facing verbs (``check``/``litmus``):
+#: distinct numbers so CI and scripts can tell a consistency violation
+#: from a hung simulation from a usage error (argparse's own 2).
+EXIT_VALIDATION = 1
+EXIT_USAGE = 2
+EXIT_FORBIDDEN = 3
+EXIT_WATCHDOG = 4
+
 
 def _machine(args) -> MachineConfig:
     core = scaled_machine() if getattr(args, "scaled", False) \
@@ -79,9 +87,18 @@ def _load_trace(args) -> Trace:
         if not os.path.exists(name):
             sys.exit(f"trace file not found: {name}")
         return Trace.load(name)
+    if name.startswith("litmus/"):
+        from repro.litmus import parse_litmus_name
+        try:
+            parse_litmus_name(name)
+        except ValueError as error:
+            sys.exit(str(error))
+        return generate_trace(name, n_instructions=args.instructions,
+                              seed=getattr(args, "seed", 0))
     if name not in ALL_BENCHMARKS:
         sys.exit(f"unknown benchmark {name!r}; choose from: "
-                 f"{', '.join(ALL_BENCHMARKS)} (or a .lsqtrace file)")
+                 f"{', '.join(ALL_BENCHMARKS)}, a litmus/... name, or a "
+                 f".lsqtrace file")
     return generate_trace(name, n_instructions=args.instructions)
 
 
@@ -290,6 +307,7 @@ def cmd_check(args) -> None:
     benchmarks = _resolve_benchmarks(args.benchmark)
     presets = sorted(PRESETS) if args.lsq == "all" else [args.lsq]
     failed = 0
+    hung = 0
     for bench in benchmarks:
         trace = generate_trace(bench, n_instructions=args.instructions)
         for preset in presets:
@@ -298,7 +316,11 @@ def cmd_check(args) -> None:
             checker = ValidationChecker()
             try:
                 result = simulate(trace, machine, checker=checker)
-            except (ValidationError, SimulationDeadlock) as error:
+            except SimulationDeadlock as error:
+                hung += 1
+                print(f"HUNG {bench} x {preset}\n{error}")
+                continue
+            except ValidationError as error:
                 failed += 1
                 print(f"FAIL {bench} x {preset}\n{error}")
                 continue
@@ -315,10 +337,111 @@ def cmd_check(args) -> None:
                     else:
                         print(f"     {report.format()}")
     total = len(benchmarks) * len(presets)
-    print(f"\ncheck: {total - failed}/{total} configuration(s) passed"
-          + (f", {failed} FAILED" if failed else ""))
+    print(f"\ncheck: {total - failed - hung}/{total} configuration(s) "
+          f"passed"
+          + (f", {failed} FAILED" if failed else "")
+          + (f", {hung} HUNG" if hung else ""))
+    if hung:
+        sys.exit(EXIT_WATCHDOG)
     if failed:
-        sys.exit(1)
+        sys.exit(EXIT_VALIDATION)
+
+
+#: The litmus --smoke slice: two shapes, both fence modes, two seeds —
+#: seconds of work, exercises generator, interleaver, checker and the
+#: fault campaigns end to end.
+LITMUS_SMOKE_SHAPES = ("mp", "sb")
+LITMUS_SMOKE_SEEDS = (0, 1)
+LITMUS_SMOKE_INSTRUCTIONS = 160
+
+
+def _parse_seed_range(text: str) -> List[int]:
+    """``A:B`` -> ``[A, B)``; a single integer -> that one seed."""
+    try:
+        if ":" in text:
+            lo_text, hi_text = text.split(":", 1)
+            lo, hi = int(lo_text), int(hi_text)
+            if hi <= lo:
+                raise ValueError
+            return list(range(lo, hi))
+        return [int(text)]
+    except ValueError:
+        print(f"bad --seed-range {text!r}; expected A:B (half-open) "
+              f"or a single integer", file=sys.stderr)
+        sys.exit(EXIT_USAGE)
+
+
+def _litmus_lsq(preset: str, ports: int):
+    """LSQ presets for litmus runs: the global four plus ``membar``,
+    the paper's software-ordering design (Section 2.2) — the one preset
+    whose declared ordering model is relaxed."""
+    if preset == "membar":
+        from repro.config import LoadQueueSearchMode
+        return replace(conventional_lsq(ports=ports),
+                       lq_search=LoadQueueSearchMode.MEMBAR)
+    return PRESETS[preset](ports=ports)
+
+
+def cmd_litmus(args) -> None:
+    from repro.config import OrderingModel
+    from repro.litmus import SHAPES, run_battery, run_litmus_fault_campaign
+    from repro.validate import SimulationDeadlock
+
+    if args.smoke:
+        shapes = list(LITMUS_SMOKE_SHAPES)
+        seeds = list(LITMUS_SMOKE_SEEDS)
+        args.instructions = LITMUS_SMOKE_INSTRUCTIONS
+        args.faults = True
+    else:
+        shapes = list(SHAPES) if args.shape == "all" else [args.shape]
+        seeds = _parse_seed_range(args.seed_range)
+    fence_modes = {"off": (False,), "on": (True,),
+                   "both": (False, True)}[args.fence]
+    machine = replace(base_machine(), lsq=_litmus_lsq(args.lsq, args.ports))
+    model = (None if args.model == "auto"
+             else OrderingModel(args.model))
+    try:
+        battery = run_battery(
+            machine, shapes=shapes, fence_modes=fence_modes, seeds=seeds,
+            contexts=args.contexts, interleave=args.interleave,
+            padding=args.padding, n_instructions=args.instructions,
+            model=model)
+    except SimulationDeadlock as error:
+        print(f"HUNG: {error}")
+        sys.exit(EXIT_WATCHDOG)
+    for report in battery.reports:
+        print(report.format())
+    print(f"\nlitmus: {len(battery.reports)} cell(s) under "
+          f"{battery.model.value}: "
+          f"{'ok' if battery.ok else 'FORBIDDEN OUTCOMES'}")
+    for witness in battery.witnesses:
+        print(f"  {witness.format()}")
+        if witness.bundle is not None:
+            print(witness.bundle.format())
+    exit_code = 0
+    if battery.witnesses:
+        exit_code = EXIT_FORBIDDEN
+    elif not battery.ok:
+        exit_code = EXIT_VALIDATION   # oracle failures without a witness
+    if args.faults:
+        try:
+            campaigns = run_litmus_fault_campaign(
+                machine, shapes=[s for s in shapes if s in ("mp", "corr")]
+                or ["mp"], seeds=seeds[:2],
+                n_instructions=args.instructions, rate=args.fault_rate,
+                fault_seed=args.seed)
+        except SimulationDeadlock as error:
+            print(f"HUNG (fault campaign): {error}")
+            sys.exit(EXIT_WATCHDOG)
+        for name, reports in sorted(campaigns.items()):
+            for report in reports:
+                if not report.ok:
+                    exit_code = exit_code or EXIT_VALIDATION
+                    print(f"FAIL {report.format()}")
+                else:
+                    print(f"     {report.format()}")
+    if exit_code:
+        sys.exit(exit_code)
 
 
 #: Preset → default search-port count for the bench sweep, following the
@@ -639,6 +762,52 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--seed", type=int, default=0,
                        help="fault-injection RNG seed")
     check.set_defaults(func=cmd_check)
+
+    from repro.litmus.shapes import SHAPES as _shapes
+    litmus = sub.add_parser(
+        "litmus", help="memory-consistency torture battery: litmus "
+                       "shapes x fencing x interleaving seeds, outcomes "
+                       "checked against the declared ordering model")
+    litmus.add_argument("shape", nargs="?", default="all",
+                        choices=sorted(_shapes) + ["all"],
+                        help="litmus shape (default: all)")
+    litmus.add_argument("--fence", choices=["off", "on", "both"],
+                        default="both",
+                        help="run unfenced, fenced, or both variants "
+                             "(default: both)")
+    litmus.add_argument("--contexts", type=int, default=0,
+                        help="context count (default: the shape's own)")
+    litmus.add_argument("--interleave", choices=["random", "round_robin"],
+                        default="random")
+    litmus.add_argument("--padding", type=int, default=0,
+                        help="filler ALU ops before each litmus op")
+    litmus.add_argument("--seed-range", default="0:8", dest="seed_range",
+                        help="interleaving seeds as half-open A:B or a "
+                             "single integer (default: 0:8)")
+    litmus.add_argument("-n", "--instructions", type=int, default=320,
+                        help="instructions per cell (default: 320)")
+    litmus.add_argument("--lsq", choices=sorted(PRESETS) + ["membar"],
+                        default="conventional",
+                        help="LSQ preset; 'membar' is the Section 2.2 "
+                             "software-ordering design (relaxed model)")
+    litmus.add_argument("--ports", type=int, default=2)
+    litmus.add_argument("--model",
+                        choices=["auto", "sc", "tso", "relaxed"],
+                        default="auto",
+                        help="ordering model to hold outcomes to "
+                             "(default: the machine's declared model)")
+    litmus.add_argument("--faults", action="store_true",
+                        help="also run the litmus fault campaigns "
+                             "(drop-membar, corrupt-nilp) and assert "
+                             "zero silent corruptions")
+    litmus.add_argument("--fault-rate", type=float, default=0.25,
+                        dest="fault_rate")
+    litmus.add_argument("--seed", type=int, default=0,
+                        help="fault-injection RNG seed")
+    litmus.add_argument("--smoke", action="store_true",
+                        help="fixed tiny slice (mp,sb x both fences x "
+                             "2 seeds + fault campaigns) for CI")
+    litmus.set_defaults(func=cmd_litmus)
 
     from repro.analyze.runner import build_parser as build_lint_parser
     lint = sub.add_parser(

@@ -91,6 +91,37 @@ class LoadQueueSearchMode(enum.Enum):
     INVALIDATION = "invalidation"
 
 
+class OrderingModel(enum.Enum):
+    """Declared memory-consistency contract of an LSQ configuration.
+
+    The litmus rig (:mod:`repro.litmus`) verifies every observed
+    outcome against the outcome set this declaration allows.  The
+    simulated pipeline commits any single interleaving sequentially, so
+    clean runs can only produce SC-reachable outcomes; the declaration
+    states the *contract* the configuration promises, which is what the
+    checker holds faulted runs to.
+
+    ``AUTO``
+        Resolve from ``lq_search``: modes that enforce hardware
+        load-load ordering declare ``TSO``; ``MEMBAR``/``INVALIDATION``
+        (no per-load ordering promise) declare ``RELAXED``.
+    ``SC``
+        Sequential consistency: program order is preserved between all
+        pairs of memory operations.
+    ``TSO``
+        Total store order: a store may be reordered after a later load
+        (store buffering); all other program-order pairs hold.
+    ``RELAXED``
+        No ordering promises except those re-established by explicit
+        ``MEMBAR`` instructions (Section 2.2's software option).
+    """
+
+    AUTO = "auto"
+    SC = "sc"
+    TSO = "tso"
+    RELAXED = "relaxed"
+
+
 class AllocationPolicy(enum.Enum):
     """Entry-allocation policy for the segmented LSQ (Section 3.1)."""
 
@@ -226,6 +257,10 @@ class LsqConfig:
     # when ``lq_search`` is INVALIDATION (the paper notes invalidations
     # are rare and may be filtered by L2/L3).
     invalidation_rate: float = 0.002
+    # Declared memory-consistency contract (see OrderingModel): what
+    # the litmus rig holds observed outcomes to.  AUTO derives it from
+    # lq_search via resolved_ordering_model.
+    ordering_model: OrderingModel = OrderingModel.AUTO
     # One combined queue holding loads and stores (the structure the
     # paper's Figure 5 draws "for brevity") instead of the split LQ/SQ
     # modern processors implement.  Capacity is shared and every search
@@ -256,6 +291,23 @@ class LsqConfig:
     @property
     def effective_sq_entries(self) -> int:
         return self.segments * self.segment_entries if self.segmented else self.sq_entries
+
+    @property
+    def resolved_ordering_model(self) -> OrderingModel:
+        """The declared ordering model, with ``AUTO`` resolved.
+
+        Hardware load-load ordering (search-the-LQ, load-buffer, or
+        in-order issue) plus execute/commit-time store-load checks make
+        the configuration at least TSO; without a per-load ordering
+        mechanism (``MEMBAR``/``INVALIDATION``) only barriers order
+        loads, so the declaration weakens to RELAXED.
+        """
+        if self.ordering_model is not OrderingModel.AUTO:
+            return self.ordering_model
+        if self.lq_search in (LoadQueueSearchMode.MEMBAR,
+                              LoadQueueSearchMode.INVALIDATION):
+            return OrderingModel.RELAXED
+        return OrderingModel.TSO
 
     @property
     def detection_at_commit(self) -> bool:

@@ -1,0 +1,67 @@
+"""Memory-consistency torture rig.
+
+Litmus workload generator (:mod:`repro.litmus.generator` over the
+shapes in :mod:`repro.litmus.shapes`), multi-context interleaving
+(:mod:`repro.litmus.interleave`), QED-style outcome checking against a
+declared :class:`~repro.config.OrderingModel`
+(:mod:`repro.litmus.checker`), and battery / fault-campaign drivers
+(:mod:`repro.litmus.battery`).  See ``docs/LITMUS.md``.
+"""
+
+from repro.litmus.battery import (
+    DEFAULT_CELL_INSTRUCTIONS,
+    DEFAULT_SEEDS,
+    BatteryReport,
+    run_battery,
+    run_litmus,
+    run_litmus_fault_campaign,
+)
+from repro.litmus.checker import (
+    ALIEN,
+    ForbiddenWitness,
+    LitmusReport,
+    LitmusViolation,
+    allowed_outcomes,
+    check_outcomes,
+    format_outcome,
+    observed_outcome,
+)
+from repro.litmus.generator import (
+    LitmusInstance,
+    LitmusMeta,
+    LitmusSpec,
+    generate_litmus,
+    parse_litmus_name,
+)
+from repro.litmus.interleave import POLICIES, interleave_streams
+from repro.litmus.shapes import MAX_CONTEXTS, SHAPES, LitmusShape
+
+#: Components any stage may touch directly (sim-lint SIM-M registry).
+SIM_LINT_INTERFACES = frozenset({"obs"})
+
+__all__ = [
+    "ALIEN",
+    "MAX_CONTEXTS",
+    "POLICIES",
+    "SHAPES",
+    "DEFAULT_CELL_INSTRUCTIONS",
+    "DEFAULT_SEEDS",
+    "BatteryReport",
+    "ForbiddenWitness",
+    "LitmusInstance",
+    "LitmusMeta",
+    "LitmusReport",
+    "LitmusShape",
+    "LitmusSpec",
+    "LitmusViolation",
+    "allowed_outcomes",
+    "check_outcomes",
+    "format_outcome",
+    "generate_litmus",
+    "interleave_streams",
+    "observed_outcome",
+    "parse_litmus_name",
+    "run_battery",
+    "run_litmus",
+    "run_litmus_fault_campaign",
+]

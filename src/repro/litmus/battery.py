@@ -1,0 +1,162 @@
+"""Litmus torture runs: single cells, batteries, fault campaigns.
+
+:func:`run_litmus` is the unit of work — generate one litmus trace, run
+it through the pipeline under the full (non-raising) validation
+checker, and hold the committed outcomes to the machine's declared
+ordering model.  :func:`run_battery` sweeps shapes x fencing x seeds;
+:func:`run_litmus_fault_campaign` re-runs cells with fault injection
+active and asserts the proof-of-detection property (zero ``silent``)
+on top of the outcome check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config import MachineConfig, OrderingModel
+from repro.litmus.checker import LitmusReport, check_outcomes
+from repro.litmus.generator import LitmusSpec, generate_litmus
+from repro.litmus.shapes import SHAPES
+from repro.pipeline.processor import Processor
+from repro.validate.checker import ValidationChecker
+from repro.validate.faults import (
+    FAULT_CLASSES,
+    CampaignReport,
+    run_fault_campaign,
+)
+
+#: Components any stage may touch directly (sim-lint SIM-M registry).
+SIM_LINT_INTERFACES = frozenset({"obs"})
+
+#: Default seeds for a battery sweep — eight distinct interleaving
+#: draws per (shape, fencing) cell.
+DEFAULT_SEEDS: Tuple[int, ...] = tuple(range(8))
+
+#: Trace length per cell: enough instances for outcome diversity while
+#: keeping a full battery interactive.
+DEFAULT_CELL_INSTRUCTIONS = 320
+
+
+def run_litmus(spec: LitmusSpec, machine: MachineConfig, *,
+               n_instructions: int = DEFAULT_CELL_INSTRUCTIONS,
+               seed: int = 0, model: Optional[OrderingModel] = None,
+               raise_on_forbidden: bool = False,
+               max_cycles: Optional[int] = None) -> LitmusReport:
+    """Run one litmus cell and check its outcomes against the model.
+
+    The run executes under the full memory-model oracle in record-only
+    mode; oracle failures surface on the report
+    (:attr:`LitmusReport.oracle_failures`) rather than aborting the
+    run, so a corrupted cell still yields a complete outcome census.
+    """
+    trace, meta = generate_litmus(spec, n_instructions=n_instructions,
+                                  seed=seed)
+    checker = ValidationChecker(raise_on_error=False)
+    processor = Processor(machine, checker=checker)
+    processor.run(trace, max_cycles=max_cycles)
+    if model is None:
+        model = machine.lsq.resolved_ordering_model
+    report = check_outcomes(meta, checker.load_verdicts, model,
+                            processor=processor,
+                            raise_on_forbidden=raise_on_forbidden)
+    report.oracle_failures = len(checker.failures)
+    return report
+
+
+@dataclass
+class BatteryReport:
+    """All cells of one battery sweep."""
+
+    model: OrderingModel
+    reports: List[LitmusReport] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(report.ok for report in self.reports)
+
+    @property
+    def witnesses(self) -> List[object]:
+        return [witness for report in self.reports
+                for witness in report.witnesses]
+
+    def format(self) -> str:
+        lines = [f"litmus battery under {self.model.value}: "
+                 f"{len(self.reports)} cell(s), "
+                 f"{'ok' if self.ok else 'FORBIDDEN OUTCOMES'}"]
+        for report in self.reports:
+            status = "ok" if report.ok else "FORBIDDEN"
+            lines.append(f"  {status:9s} {report.name:28s} "
+                         f"{report.instances:4d} instance(s), "
+                         f"{len(report.counts)} outcome(s)")
+        return "\n".join(lines)
+
+
+def run_battery(machine: MachineConfig, *,
+                shapes: Optional[Sequence[str]] = None,
+                fence_modes: Sequence[bool] = (False, True),
+                seeds: Sequence[int] = DEFAULT_SEEDS,
+                contexts: int = 0, interleave: str = "random",
+                padding: int = 0,
+                n_instructions: int = DEFAULT_CELL_INSTRUCTIONS,
+                model: Optional[OrderingModel] = None,
+                raise_on_forbidden: bool = False) -> BatteryReport:
+    """Sweep shapes x fencing x seeds on one machine.
+
+    Each seed is a distinct interleaving draw of the same cell, so a
+    battery explores the outcome space rather than one fixed schedule.
+    """
+    if model is None:
+        model = machine.lsq.resolved_ordering_model
+    battery = BatteryReport(model=model)
+    for shape in (shapes if shapes is not None else list(SHAPES)):
+        for fenced in fence_modes:
+            for seed in seeds:
+                spec = LitmusSpec(shape=shape, contexts=contexts,
+                                  fenced=fenced, interleave=interleave,
+                                  padding=padding)
+                battery.reports.append(run_litmus(
+                    spec, machine, n_instructions=n_instructions,
+                    seed=seed, model=model,
+                    raise_on_forbidden=raise_on_forbidden))
+    return battery
+
+
+def run_litmus_fault_campaign(
+        machine: MachineConfig, *,
+        fault_names: Sequence[str] = ("drop-membar", "corrupt-nilp"),
+        shapes: Sequence[str] = ("mp", "corr"),
+        seeds: Sequence[int] = (0, 1),
+        fenced: Optional[bool] = None,
+        n_instructions: int = DEFAULT_CELL_INSTRUCTIONS,
+        rate: float = 0.25,
+        fault_seed: int = 0) -> Dict[str, List[CampaignReport]]:
+    """Proof of detection on litmus traffic.
+
+    For each fault class, inject into every requested cell and classify
+    each fault through :func:`repro.validate.faults.run_fault_campaign`.
+    The acceptable end state is ``report.ok`` for every report: each
+    fault recovered, was detected, or provably did not matter — never
+    silent.
+
+    ``fenced=None`` picks per fault class: ``drop-membar`` needs the
+    fenced variants (there is no barrier to drop otherwise), while the
+    others want the unfenced ones — fences serialise load issue, which
+    would starve e.g. ``corrupt-nilp`` of out-of-order loads to lie
+    about.
+    """
+    campaigns: Dict[str, List[CampaignReport]] = {}
+    for fault_name in fault_names:
+        cls = FAULT_CLASSES[fault_name]
+        cell_fenced = (fault_name == "drop-membar" if fenced is None
+                       else fenced)
+        reports: List[CampaignReport] = []
+        for shape in shapes:
+            for seed in seeds:
+                spec = LitmusSpec(shape=shape, fenced=cell_fenced)
+                trace, _ = generate_litmus(
+                    spec, n_instructions=n_instructions, seed=seed)
+                reports.append(run_fault_campaign(
+                    trace, machine, cls(seed=fault_seed, rate=rate)))
+        campaigns[fault_name] = reports
+    return campaigns

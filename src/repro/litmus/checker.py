@@ -1,0 +1,275 @@
+"""QED-style outcome checking for litmus runs.
+
+Two halves:
+
+* :func:`allowed_outcomes` — an executable memory model.  It enumerates
+  every final outcome a shape can produce under a declared
+  :class:`~repro.config.OrderingModel` by exploring all interleavings
+  of the per-context programs in which each operation may run as soon
+  as its *model-required* program-order predecessors have run (single-
+  copy-atomic memory; fences order everything across themselves).
+
+* :func:`check_outcomes` — reads an actual run back through the
+  validation checker's committed-load verdicts and verifies every
+  observed instance outcome is a member of the allowed set.  A
+  non-member is reported as a :class:`ForbiddenWitness` (with a full
+  diagnostic bundle when the processor is still at hand) — and, with
+  ``raise_on_forbidden``, raised as a :class:`LitmusViolation`.
+
+The pipeline commits each interleaving sequentially, so clean runs can
+only ever produce SC outcomes — a strict subset of any declared model.
+A forbidden outcome therefore always means corruption: either an
+injected fault (the proof-of-detection campaigns) or a real ordering
+bug in the simulator, which is exactly what this rig exists to catch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.config import OrderingModel
+from repro.litmus.generator import LitmusInstance, LitmusMeta
+from repro.litmus.shapes import FENCE, LD, SHAPES, ST, Op
+from repro.validate.bundle import (
+    DiagnosticBundle,
+    ValidationError,
+    ValidationFailure,
+    build_bundle,
+)
+
+#: Components any stage may touch directly (sim-lint SIM-M registry).
+SIM_LINT_INTERFACES = frozenset({"obs"})
+
+#: Observed value marker for a load that saw a store belonging to no
+#: litmus variable of its instance (cross-instance or cross-variable
+#: corruption) — never a member of any allowed set.
+ALIEN = -1
+
+#: Sentinel for a not-yet-resolved load during enumeration.
+_UNSET = -2
+
+
+class LitmusViolation(ValidationError):
+    """An observed outcome is outside the declared model's allowed set."""
+
+
+def _ordered(kind_a: str, kind_b: str, fence_between: bool,
+             model: OrderingModel) -> bool:
+    """Must program-order ``a`` (earlier) complete before ``b``?"""
+    if kind_a == FENCE or kind_b == FENCE or fence_between:
+        return True
+    if model is OrderingModel.SC:
+        return True
+    if model is OrderingModel.TSO:
+        return not (kind_a == ST and kind_b == LD)
+    return False   # RELAXED: only fences order
+
+
+_ALLOWED_CACHE: Dict[Tuple[Tuple[Tuple[Op, ...], ...], OrderingModel],
+                     FrozenSet[Tuple[int, ...]]] = {}
+
+
+def allowed_outcomes(programs: Sequence[Sequence[Op]],
+                     model: OrderingModel) -> FrozenSet[Tuple[int, ...]]:
+    """All final load-value tuples reachable under ``model``.
+
+    Outcome positions follow load roles in (context, program) order;
+    values are 0 (initial memory) or 1 (the variable's unique store).
+    """
+    if model is OrderingModel.AUTO:
+        raise ValueError("resolve OrderingModel.AUTO (see "
+                         "LsqConfig.resolved_ordering_model) before "
+                         "enumerating outcomes")
+    key = (tuple(tuple(program) for program in programs), model)
+    cached = _ALLOWED_CACHE.get(key)
+    if cached is not None:
+        return cached
+
+    # Flatten to events; compute, per event, the bitmask of same-context
+    # predecessors the model requires to have completed first.
+    events: List[Tuple[int, int, str, int]] = []   # (ctx, idx, kind, var)
+    for ctx, program in enumerate(programs):
+        for idx, (kind, var) in enumerate(program):
+            events.append((ctx, idx, kind, var))
+    n = len(events)
+    load_roles = {i: role for role, i in enumerate(
+        i for i, event in enumerate(events) if event[2] == LD)}
+    preds = [0] * n
+    for i, (ctx, idx, kind, _) in enumerate(events):
+        for j, (ctx_j, idx_j, kind_j, _) in enumerate(events):
+            if ctx_j != ctx or idx_j >= idx:
+                continue
+            fence_between = any(
+                event[0] == ctx and idx_j < event[1] < idx
+                and event[2] == FENCE for event in events)
+            if _ordered(kind_j, kind, fence_between, model):
+                preds[i] |= 1 << j
+
+    results: Set[Tuple[int, ...]] = set()
+    seen: Set[Tuple[int, Tuple[int, ...]]] = set()
+    all_done = (1 << n) - 1
+    initial = tuple([_UNSET] * len(load_roles))
+
+    def step(done: int, written: int, outcome: Tuple[int, ...]) -> None:
+        if (done, outcome) in seen:
+            return
+        seen.add((done, outcome))
+        if done == all_done:
+            results.add(outcome)
+            return
+        for i in range(n):
+            bit = 1 << i
+            if done & bit or (preds[i] & done) != preds[i]:
+                continue
+            kind, var = events[i][2], events[i][3]
+            if kind == LD:
+                value = (written >> var) & 1
+                role = load_roles[i]
+                step(done | bit, written,
+                     outcome[:role] + (value,) + outcome[role + 1:])
+            elif kind == ST:
+                step(done | bit, written | (1 << var), outcome)
+            else:
+                step(done | bit, written, outcome)
+
+    step(0, 0, initial)
+    allowed = frozenset(results)
+    _ALLOWED_CACHE[key] = allowed
+    return allowed
+
+
+def observed_outcome(instance: LitmusInstance, load_vars: Sequence[int],
+                     verdicts: Dict[int, Tuple[object, object]]
+                     ) -> Optional[Tuple[int, ...]]:
+    """Reconstruct one instance's outcome from committed-load verdicts.
+
+    ``verdicts`` is :attr:`ValidationChecker.load_verdicts` — per trace
+    index, the store the committed load *actually observed* (the
+    observed half; the oracle half is the checker's own business).
+    Returns ``None`` when any of the instance's loads never committed
+    (a truncated run).
+    """
+    values: List[int] = []
+    for role, trace_index in enumerate(instance.loads):
+        verdict = verdicts.get(trace_index)
+        if verdict is None:
+            return None
+        observed = verdict[0]
+        if observed is None:
+            values.append(0)
+        elif observed == instance.stores[load_vars[role]]:
+            values.append(1)
+        else:
+            values.append(ALIEN)
+    return tuple(values)
+
+
+def format_outcome(outcome: Sequence[int],
+                   role_labels: Sequence[str]) -> str:
+    parts = []
+    for label, value in zip(role_labels, outcome):
+        parts.append(f"{label}={'?' if value == ALIEN else value}")
+    return " ".join(parts)
+
+
+@dataclass
+class ForbiddenWitness:
+    """One observed instance outside the allowed set."""
+
+    instance: LitmusInstance
+    outcome: Tuple[int, ...]
+    detail: str
+    bundle: Optional[DiagnosticBundle] = None
+
+    def format(self) -> str:
+        return self.detail
+
+
+@dataclass
+class LitmusReport:
+    """Outcome census of one litmus run against its declared model."""
+
+    name: str
+    model: OrderingModel
+    role_labels: Tuple[str, ...]
+    allowed: FrozenSet[Tuple[int, ...]]
+    counts: Dict[Tuple[int, ...], int] = field(default_factory=dict)
+    witnesses: List[ForbiddenWitness] = field(default_factory=list)
+    instances: int = 0
+    incomplete: int = 0
+    #: Failures the memory-model oracle recorded during the same run
+    #: (independent of the litmus-level membership check).
+    oracle_failures: int = 0
+
+    @property
+    def forbidden(self) -> bool:
+        return bool(self.witnesses)
+
+    @property
+    def ok(self) -> bool:
+        return not self.witnesses and self.oracle_failures == 0
+
+    def format(self) -> str:
+        lines = [f"{self.name} under {self.model.value}: "
+                 f"{self.instances} instance(s), "
+                 f"{len(self.counts)} distinct outcome(s), "
+                 f"{len(self.allowed)} allowed"]
+        for outcome in sorted(self.counts):
+            marker = ("ok       " if outcome in self.allowed
+                      else "FORBIDDEN")
+            lines.append(f"  {marker} {self.counts[outcome]:6d}x  "
+                         f"{format_outcome(outcome, self.role_labels)}")
+        if self.incomplete:
+            lines.append(f"  ({self.incomplete} incomplete instance(s) "
+                         f"skipped)")
+        if self.oracle_failures:
+            lines.append(f"  {self.oracle_failures} memory-model oracle "
+                         f"failure(s) in the same run")
+        return "\n".join(lines)
+
+
+def check_outcomes(meta: LitmusMeta,
+                   verdicts: Dict[int, Tuple[object, object]],
+                   model: OrderingModel,
+                   processor: object = None,
+                   raise_on_forbidden: bool = False,
+                   max_bundles: int = 2) -> LitmusReport:
+    """Verify every observed instance outcome against the model.
+
+    ``processor`` (when given) is the just-finished pipeline, used to
+    attach diagnostic bundles to the first ``max_bundles`` witnesses.
+    """
+    allowed = allowed_outcomes(
+        SHAPES[meta.shape].programs(meta.contexts, meta.fenced), model)
+    report = LitmusReport(name=meta.name, model=model,
+                          role_labels=meta.role_labels, allowed=allowed)
+    for instance in meta.instances:
+        outcome = observed_outcome(instance, meta.load_vars, verdicts)
+        if outcome is None:
+            report.incomplete += 1
+            continue
+        report.instances += 1
+        report.counts[outcome] = report.counts.get(outcome, 0) + 1
+        if outcome in allowed:
+            continue
+        detail = (f"{meta.name} instance {instance.index}: outcome "
+                  f"{format_outcome(outcome, meta.role_labels)} is "
+                  f"forbidden under {model.value} "
+                  f"(loads at trace{list(instance.loads)})")
+        bundle: Optional[DiagnosticBundle] = None
+        if processor is not None and len(report.witnesses) < max_bundles:
+            failure = ValidationFailure(
+                kind="forbidden-outcome",
+                cycle=getattr(processor, "cycle", -1),
+                trace_index=instance.loads[0], message=detail)
+            bundle = build_bundle(processor,
+                                  trace_index=instance.loads[0],
+                                  failures=[failure])
+        report.witnesses.append(ForbiddenWitness(
+            instance=instance, outcome=outcome, detail=detail,
+            bundle=bundle))
+    if report.witnesses and raise_on_forbidden:
+        first = report.witnesses[0]
+        raise LitmusViolation(first.detail, bundle=first.bundle)
+    return report

@@ -1,0 +1,264 @@
+"""Litmus workload generator: shapes -> deterministic traces + metadata.
+
+A :class:`LitmusSpec` names a shape and its parameters (context count,
+fencing, interleaving policy, padding, address overlap).  The generator
+instantiates the shape many times — each *instance* gets **fresh
+addresses**, so its variables demonstrably start at 0 — serialises the
+per-context streams through :mod:`repro.litmus.interleave`, and returns
+the trace together with a :class:`LitmusMeta` mapping every litmus load
+and store back to its trace index.  The outcome checker
+(:mod:`repro.litmus.checker`) consumes that map.
+
+Everything is deterministic in ``(spec, seed)``; per-context PCs are
+static across instances, as loop bodies would be.  Specs round-trip
+through benchmark-style names::
+
+    litmus/<shape>[+fence][@<contexts>][:rr][:pad<K>][:spread]
+
+for example ``litmus/mp+fence@4:rr`` — which is what makes litmus cells
+first-class benchmarks for the CLI and the cached sweep engine.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.litmus.interleave import POLICIES, interleave_streams
+from repro.litmus.shapes import FENCE, LD, ST, SHAPES, LitmusShape
+from repro.workload.isa import Instruction, OpClass
+from repro.workload.trace import Trace
+
+#: Components any stage may touch directly (sim-lint SIM-M registry).
+SIM_LINT_INTERFACES = frozenset({"obs"})
+
+#: Code/data regions disjoint from the synthetic generator's layout.
+_LITMUS_CODE_BASE = 0x0080_0000
+_LITMUS_DATA_BASE = 0x5000_0000
+#: Address distance between instances (fresh variables every instance).
+_INSTANCE_STRIDE = 256
+#: PC span reserved per context.
+_CONTEXT_PC_SPAN = 0x400
+#: Architectural-register window per context (addr, data, scratch, up to
+#: four load destinations).
+_REGS_PER_CONTEXT = 7
+
+_MAX_PADDING = 8
+
+_NAME_RE = re.compile(
+    r"^litmus/(?P<shape>[a-z]+)"
+    r"(?P<fence>\+fence)?"
+    r"(?:@(?P<contexts>\d+))?"
+    r"(?P<mods>(?::(?:rr|pad\d+|spread))*)$")
+
+
+def fnv1a(text: str) -> int:
+    """Deterministic 32-bit string hash (Python's ``hash`` is salted)."""
+    value = 0x811C9DC5
+    for byte in text.encode("utf-8"):
+        value = ((value ^ byte) * 0x01000193) & 0xFFFFFFFF
+    return value
+
+
+@dataclass(frozen=True)
+class LitmusSpec:
+    """One litmus workload configuration."""
+
+    shape: str = "mp"
+    contexts: int = 0            # 0 = the shape's default
+    fenced: bool = False
+    interleave: str = "random"   # "round_robin" | "random"
+    padding: int = 0             # filler ALU ops before each litmus op
+    shared_line: bool = True     # variables packed into one cache line
+
+    def __post_init__(self) -> None:
+        if self.shape not in SHAPES:
+            raise ValueError(f"unknown litmus shape {self.shape!r}; "
+                             f"choose from {', '.join(SHAPES)}")
+        if self.interleave not in POLICIES:
+            raise ValueError(f"unknown interleave policy "
+                             f"{self.interleave!r}; choose from "
+                             f"{', '.join(POLICIES)}")
+        if not 0 <= self.padding <= _MAX_PADDING:
+            raise ValueError(f"padding must be in [0, {_MAX_PADDING}]")
+        # Validates the context count (raises on bad values).
+        SHAPES[self.shape].resolve_contexts(self.contexts)
+
+    @property
+    def shape_def(self) -> LitmusShape:
+        return SHAPES[self.shape]
+
+    @property
+    def resolved_contexts(self) -> int:
+        return self.shape_def.resolve_contexts(self.contexts)
+
+    @property
+    def name(self) -> str:
+        """Canonical ``litmus/...`` benchmark name (round-trips through
+        :func:`parse_litmus_name`; defaults are omitted)."""
+        parts = [f"litmus/{self.shape}"]
+        if self.fenced:
+            parts.append("+fence")
+        if self.contexts:
+            parts.append(f"@{self.contexts}")
+        if self.interleave == "round_robin":
+            parts.append(":rr")
+        if self.padding:
+            parts.append(f":pad{self.padding}")
+        if not self.shared_line:
+            parts.append(":spread")
+        return "".join(parts)
+
+
+def parse_litmus_name(name: str) -> LitmusSpec:
+    """Parse a ``litmus/...`` benchmark name into a :class:`LitmusSpec`."""
+    match = _NAME_RE.match(name)
+    if match is None:
+        raise ValueError(
+            f"bad litmus name {name!r}; expected "
+            f"litmus/<shape>[+fence][@<contexts>][:rr][:pad<K>][:spread] "
+            f"with shape in {{{', '.join(SHAPES)}}}")
+    mods = [mod for mod in (match.group("mods") or "").split(":") if mod]
+    padding = 0
+    interleave = "random"
+    shared_line = True
+    for mod in mods:
+        if mod == "rr":
+            interleave = "round_robin"
+        elif mod == "spread":
+            shared_line = False
+        else:
+            padding = int(mod[3:])
+    return LitmusSpec(
+        shape=match.group("shape"),
+        contexts=int(match.group("contexts") or 0),
+        fenced=match.group("fence") is not None,
+        interleave=interleave,
+        padding=padding,
+        shared_line=shared_line)
+
+
+@dataclass(frozen=True)
+class LitmusInstance:
+    """Trace locations of one shape instance."""
+
+    index: int
+    loads: Tuple[int, ...]    # load role -> trace index
+    stores: Tuple[int, ...]   # variable -> trace index of its writer
+
+
+@dataclass(frozen=True)
+class LitmusMeta:
+    """Everything the outcome checker needs to read a run back."""
+
+    name: str
+    shape: str
+    contexts: int
+    fenced: bool
+    interleave: str
+    role_labels: Tuple[str, ...]
+    load_vars: Tuple[int, ...]   # load role -> variable it reads
+    n_vars: int
+    instances: Tuple[LitmusInstance, ...]
+
+
+#: A generated instruction tagged with its litmus role: ``(instruction,
+#: load role or -1, stored variable or -1)``.
+_Tagged = Tuple[Instruction, int, int]
+
+
+def _context_stream(spec: LitmusSpec, ctx: int,
+                    addresses: List[int], first_role: int) -> List[_Tagged]:
+    """One context's instructions for one instance, in program order."""
+    program = spec.shape_def.programs(spec.resolved_contexts,
+                                      spec.fenced)[ctx]
+    base_pc = _LITMUS_CODE_BASE + ctx * _CONTEXT_PC_SPAN
+    reg_base = 1 + ctx * _REGS_PER_CONTEXT
+    addr_reg, data_reg, scratch = reg_base, reg_base + 1, reg_base + 2
+    stream: List[_Tagged] = []
+    role = first_role
+    loads_seen = 0
+    slot = 0
+    for kind, var in program:
+        for _ in range(spec.padding):
+            # A serial per-context chain: occupies dispatch/issue slots
+            # without feeding the litmus ops.
+            stream.append((Instruction(pc=base_pc + slot * 4,
+                                       op=OpClass.INT_ALU, dest=scratch,
+                                       srcs=(scratch,)), -1, -1))
+            slot += 1
+        pc = base_pc + slot * 4
+        slot += 1
+        if kind == FENCE:
+            stream.append((Instruction(pc=pc, op=OpClass.MEMBAR), -1, -1))
+        elif kind == ST:
+            stream.append((Instruction(pc=pc, op=OpClass.STORE,
+                                       srcs=(addr_reg, data_reg),
+                                       addr=addresses[var], size=8),
+                           -1, var))
+        else:
+            dest = reg_base + 3 + loads_seen
+            loads_seen += 1
+            stream.append((Instruction(pc=pc, op=OpClass.LOAD, dest=dest,
+                                       srcs=(addr_reg,),
+                                       addr=addresses[var], size=8),
+                           role, -1))
+            role += 1
+    return stream
+
+
+def generate_litmus(spec: LitmusSpec, n_instructions: int = 2000,
+                    seed: int = 0) -> Tuple[Trace, LitmusMeta]:
+    """Emit up to ``n_instructions`` as whole litmus instances.
+
+    Only complete instances are emitted (at least one, even when it
+    exceeds ``n_instructions``) so every instance's outcome is fully
+    observable.  Deterministic in ``(spec, seed)``.
+    """
+    shape = spec.shape_def
+    contexts = spec.resolved_contexts
+    programs = shape.programs(contexts, spec.fenced)
+    n_vars = shape.n_vars(contexts)
+    load_vars = shape.load_vars(contexts)
+    rng = random.Random((fnv1a(spec.name) ^ seed) & 0xFFFFFFFF)
+    var_stride = 8 if spec.shared_line else 64
+
+    # Load roles are numbered in (context, program-order) position.
+    first_role = [0] * contexts
+    next_role = 0
+    for ctx, program in enumerate(programs):
+        first_role[ctx] = next_role
+        next_role += sum(1 for kind, _ in program if kind == LD)
+
+    instance_size = (1 + spec.padding) * sum(len(program)
+                                             for program in programs)
+    out: List[Instruction] = []
+    instances: List[LitmusInstance] = []
+    while not instances or len(out) + instance_size <= n_instructions:
+        index = len(instances)
+        base = _LITMUS_DATA_BASE + index * _INSTANCE_STRIDE
+        addresses = [base + var * var_stride for var in range(n_vars)]
+        streams = [_context_stream(spec, ctx, addresses, first_role[ctx])
+                   for ctx in range(contexts)]
+        merged = interleave_streams(streams, spec.interleave, rng)
+        loads = [-1] * len(load_vars)
+        stores = [-1] * n_vars
+        for inst, role, stored_var in merged:
+            trace_index = len(out)
+            out.append(inst)
+            if role >= 0:
+                loads[role] = trace_index
+            elif stored_var >= 0:
+                stores[stored_var] = trace_index
+        instances.append(LitmusInstance(index=index, loads=tuple(loads),
+                                        stores=tuple(stores)))
+
+    meta = LitmusMeta(
+        name=spec.name, shape=spec.shape, contexts=contexts,
+        fenced=spec.fenced, interleave=spec.interleave,
+        role_labels=shape.role_labels(contexts),
+        load_vars=load_vars, n_vars=n_vars,
+        instances=tuple(instances))
+    return Trace(out, name=spec.name), meta

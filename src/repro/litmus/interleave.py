@@ -1,0 +1,54 @@
+"""Multi-context interleaving onto the single-stream pipeline.
+
+The simulator consumes one dynamic instruction stream, so "multiple
+contexts" are realised the way an SMT front end would serialise them:
+per-context streams are merged into one trace under a chosen policy.
+Round-robin alternates contexts deterministically; random draws the
+next context uniformly (seed-driven), which is what lets a litmus
+battery explore distinct interleavings — and therefore distinct
+outcomes — across seeds.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, TypeVar
+
+#: Components any stage may touch directly (sim-lint SIM-M registry).
+SIM_LINT_INTERFACES = frozenset({"obs"})
+
+#: Supported interleaving policies.
+POLICIES = ("round_robin", "random")
+
+T = TypeVar("T")
+
+
+def interleave_streams(streams: Sequence[Sequence[T]], policy: str,
+                       rng: random.Random) -> List[T]:
+    """Merge per-context streams into one, preserving per-context order.
+
+    ``round_robin`` takes one element from each non-exhausted context in
+    turn; ``random`` picks a non-exhausted context uniformly at each
+    step (so every interleaving consistent with program order has
+    non-zero probability).
+    """
+    if policy not in POLICIES:
+        raise ValueError(f"unknown interleave policy {policy!r}; "
+                         f"choose from {', '.join(POLICIES)}")
+    cursors = [0] * len(streams)
+    remaining = sum(len(stream) for stream in streams)
+    merged: List[T] = []
+    while remaining:
+        live = [index for index, stream in enumerate(streams)
+                if cursors[index] < len(stream)]
+        if policy == "round_robin":
+            for index in live:
+                merged.append(streams[index][cursors[index]])
+                cursors[index] += 1
+                remaining -= 1
+        else:
+            index = live[rng.randrange(len(live))]
+            merged.append(streams[index][cursors[index]])
+            cursors[index] += 1
+            remaining -= 1
+    return merged

@@ -1,0 +1,187 @@
+"""The classic litmus shapes, as abstract per-context programs.
+
+A litmus *shape* is a tiny multi-context program whose final register
+state discriminates between memory-consistency models.  Each shape here
+is expressed abstractly — per context, an ordered list of operations on
+symbolic variables — and instantiated by :mod:`repro.litmus.generator`
+into concrete trace instructions.  Conventions:
+
+* every variable starts at 0 and has exactly **one** writer, which
+  stores 1 — so every load observes either 0 (the initial value) or 1
+  (the store), and an outcome is just the tuple of values the shape's
+  loads returned, in (context, program) order;
+* the *fenced* variant of a shape inserts a ``MEMBAR`` between the two
+  operations of every context that has two memory operations — the
+  software ordering the paper's Section 2.2 describes.
+
+The shapes:
+
+``mp``    message passing: a writer publishes data then a flag; readers
+          poll the flag then read the data.  Forbidden under SC/TSO:
+          flag seen set but data seen stale.
+``sb``    store buffering (Dekker): each context stores its own
+          variable then loads its neighbour's.  All-zero is forbidden
+          under SC but *allowed* under TSO — the store buffer lets the
+          load run ahead of the store.
+``lb``    load buffering: each context loads its own variable then
+          stores its neighbour's.  All-one requires load->store
+          reordering — forbidden under SC/TSO.
+``corr``  coherent read-read: one writer, readers load the same
+          variable twice.  New-then-old (1, 0) requires load-load
+          reordering — exactly the traffic the paper's NILP/LIV load
+          buffer polices.
+``iriw``  independent reads of independent writes: two writers, readers
+          scan the two variables in opposite orders.  Both readers
+          disagreeing on the write order is forbidden under SC/TSO.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+#: Components any stage may touch directly (sim-lint SIM-M registry).
+SIM_LINT_INTERFACES = frozenset({"obs"})
+
+#: Operation kinds within a shape program.
+ST = "St"
+LD = "Ld"
+FENCE = "Fence"
+
+#: One abstract operation: ``(ST|LD, variable index)`` or
+#: ``(FENCE, -1)``.
+Op = Tuple[str, int]
+Program = List[Op]
+
+#: Contexts are mapped onto disjoint architectural-register windows by
+#: the generator, which bounds how many fit.
+MAX_CONTEXTS = 4
+
+_FENCE_OP: Op = (FENCE, -1)
+
+
+def _st(var: int) -> Op:
+    return (ST, var)
+
+
+def _ld(var: int) -> Op:
+    return (LD, var)
+
+
+def _fence(fenced: bool) -> Program:
+    return [_FENCE_OP] if fenced else []
+
+
+def _mp(contexts: int, fenced: bool) -> List[Program]:
+    writer = [_st(0)] + _fence(fenced) + [_st(1)]
+    reader = [_ld(1)] + _fence(fenced) + [_ld(0)]
+    return [writer] + [list(reader) for _ in range(contexts - 1)]
+
+
+def _sb(contexts: int, fenced: bool) -> List[Program]:
+    return [[_st(c)] + _fence(fenced) + [_ld((c + 1) % contexts)]
+            for c in range(contexts)]
+
+
+def _lb(contexts: int, fenced: bool) -> List[Program]:
+    return [[_ld(c)] + _fence(fenced) + [_st((c + 1) % contexts)]
+            for c in range(contexts)]
+
+
+def _corr(contexts: int, fenced: bool) -> List[Program]:
+    reader = [_ld(0)] + _fence(fenced) + [_ld(0)]
+    return [[_st(0)]] + [list(reader) for _ in range(contexts - 1)]
+
+
+def _iriw(contexts: int, fenced: bool) -> List[Program]:
+    programs: List[Program] = [[_st(0)], [_st(1)]]
+    for index in range(contexts - 2):
+        first, second = (0, 1) if index % 2 == 0 else (1, 0)
+        programs.append([_ld(first)] + _fence(fenced) + [_ld(second)])
+    return programs
+
+
+@dataclass(frozen=True)
+class LitmusShape:
+    """One shape: metadata plus its program builder."""
+
+    name: str
+    title: str
+    description: str
+    min_contexts: int
+    default_contexts: int
+    build: Callable[[int, bool], List[Program]] = field(repr=False)
+
+    def resolve_contexts(self, contexts: int = 0) -> int:
+        """Validate and default the context count (0 = shape default)."""
+        contexts = contexts or self.default_contexts
+        if contexts < self.min_contexts:
+            raise ValueError(
+                f"{self.name} needs at least {self.min_contexts} contexts "
+                f"(got {contexts})")
+        if contexts > MAX_CONTEXTS:
+            raise ValueError(
+                f"{self.name}: at most {MAX_CONTEXTS} contexts fit the "
+                f"register windows (got {contexts})")
+        return contexts
+
+    def programs(self, contexts: int = 0,
+                 fenced: bool = False) -> List[Program]:
+        return self.build(self.resolve_contexts(contexts), fenced)
+
+    def n_vars(self, contexts: int = 0) -> int:
+        programs = self.programs(contexts)
+        return 1 + max(var for program in programs
+                       for (_, var) in program if var >= 0)
+
+    def load_vars(self, contexts: int = 0) -> Tuple[int, ...]:
+        """Variable read by each load role, in (context, program) order."""
+        return tuple(var for program in self.programs(contexts)
+                     for (kind, var) in program if kind == LD)
+
+    def role_labels(self, contexts: int = 0) -> Tuple[str, ...]:
+        """Human names for the outcome positions, e.g. ``c1:Ld[y]``."""
+        labels: List[str] = []
+        for ctx, program in enumerate(self.programs(contexts)):
+            for kind, var in program:
+                if kind == LD:
+                    labels.append(f"c{ctx}:Ld[{var_name(var)}]")
+        return tuple(labels)
+
+
+def var_name(var: int) -> str:
+    """Symbolic variable names: x, y, z, w."""
+    return "xyzw"[var] if 0 <= var < 4 else f"v{var}"
+
+
+#: Registry, in canonical battery order.
+SHAPES: Dict[str, LitmusShape] = {shape.name: shape for shape in (
+    LitmusShape(
+        name="mp", title="message passing",
+        description="writer publishes data then flag; readers poll the "
+                    "flag then read the data (forbidden: flag=1, data=0)",
+        min_contexts=2, default_contexts=2, build=_mp),
+    LitmusShape(
+        name="sb", title="store buffering",
+        description="each context stores its own variable then loads its "
+                    "neighbour's (all-zero: forbidden under SC, allowed "
+                    "under TSO)",
+        min_contexts=2, default_contexts=2, build=_sb),
+    LitmusShape(
+        name="lb", title="load buffering",
+        description="each context loads its own variable then stores its "
+                    "neighbour's (all-one: forbidden under SC/TSO)",
+        min_contexts=2, default_contexts=2, build=_lb),
+    LitmusShape(
+        name="corr", title="coherent read-read",
+        description="readers load one written variable twice (new-then-"
+                    "old: the load-load reordering the NILP/LIV buffer "
+                    "polices)",
+        min_contexts=2, default_contexts=2, build=_corr),
+    LitmusShape(
+        name="iriw", title="independent reads of independent writes",
+        description="two writers; readers scan both variables in "
+                    "opposite orders (readers disagreeing on the write "
+                    "order: forbidden under SC/TSO)",
+        min_contexts=4, default_contexts=4, build=_iriw),
+)}

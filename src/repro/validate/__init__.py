@@ -35,6 +35,8 @@ from repro.validate.faults import (
     CampaignReport,
     DropSegmentSearchFault,
     FaultInjector,
+    MembarDropFault,
+    NilpCorruptionFault,
     SkipSqSearchFault,
     SuppressLoadBufferFault,
     run_all_fault_classes,
@@ -57,6 +59,8 @@ __all__ = [
     "CampaignReport",
     "DropSegmentSearchFault",
     "FaultInjector",
+    "MembarDropFault",
+    "NilpCorruptionFault",
     "SkipSqSearchFault",
     "SuppressLoadBufferFault",
     "run_all_fault_classes",

@@ -11,7 +11,13 @@ internal decision of the LSQ while a trace runs under the full
   out-of-order-issued loads, breaking the NILP/LIV contract;
 * :class:`DropSegmentSearchFault` — silently truncates the youngest
   segment from forwarding searches, modelling a broken segmented
-  search pipeline.
+  search pipeline;
+* :class:`MembarDropFault` — drops the memory-barrier issue gate for
+  selected instructions, letting them run past an incomplete
+  ``MEMBAR`` (the litmus rig's fenced variants exist to catch this);
+* :class:`NilpCorruptionFault` — makes the NILP pointer lie that an
+  out-of-order load issued in order, so it gets neither a load-buffer
+  entry nor out-of-order bookkeeping.
 
 After the run, :func:`run_fault_campaign` classifies every injected
 fault:
@@ -137,11 +143,92 @@ class DropSegmentSearchFault(FaultInjector):
         lsq._sq_search = corrupted
 
 
+class MembarDropFault(FaultInjector):
+    """Drop the memory-barrier issue gate for selected instructions."""
+
+    name = "drop-membar"
+
+    def install(self, processor: Processor) -> None:
+        lsq = processor.lsq
+        original = lsq._membar_blocks
+        # Per-instruction decisions: once an instruction's gate is
+        # dropped it stays dropped, so issue logic sees a consistent
+        # (corrupted) ordering rather than a flickering one.
+        decisions: Dict[int, bool] = {}
+
+        def corrupted(inst):
+            if not original(inst):
+                return False
+            drop = decisions.get(inst.seq)
+            if drop is None:
+                drop = self.rng.random() < self.rate
+                decisions[inst.seq] = drop
+                if drop:
+                    self._record(processor, inst,
+                                 "dropped the memory-barrier gate; the "
+                                 "instruction issues past an incomplete "
+                                 "MEMBAR")
+            return not drop
+
+        lsq._membar_blocks = corrupted
+
+
+class _LyingNilp:
+    """Proxy over :class:`~repro.core.load_buffer.NilpTracker` whose
+    in-order answer can lie (the tracker itself has ``__slots__``, so
+    corruption happens one level up).
+
+    The lie is sticky per load: ``load_blocked`` and
+    ``_finish_load_issue`` must see the same answer, otherwise the LSQ
+    would insert a "blocked" load into the buffer after all.  A load
+    lied about is genuinely out of order yet gets no load-buffer entry
+    and no out-of-order bookkeeping — the tracker's own state stays
+    self-consistent, so the cycle invariants cannot see the corruption
+    and the memory-model oracle has to catch any wrong value.
+    """
+
+    def __init__(self, real: object, fault: "NilpCorruptionFault",
+                 processor: Processor) -> None:
+        self._real = real
+        self._fault = fault
+        self._processor = processor
+        self._decisions: Dict[int, bool] = {}
+
+    def __getattr__(self, name):
+        return getattr(self._real, name)
+
+    def is_in_order(self, load) -> bool:
+        if self._real.is_in_order(load):
+            return True
+        lie = self._decisions.get(load.seq)
+        if lie is None:
+            lie = self._fault.rng.random() < self._fault.rate
+            self._decisions[load.seq] = lie
+            if lie:
+                self._fault._record(
+                    self._processor, load,
+                    "NILP pointer corrupted: an out-of-order load is "
+                    "reported in order (no load-buffer entry, no "
+                    "out-of-order bookkeeping)")
+        return lie
+
+
+class NilpCorruptionFault(FaultInjector):
+    """Make the NILP pointer lie that out-of-order loads are in order."""
+
+    name = "corrupt-nilp"
+
+    def install(self, processor: Processor) -> None:
+        lsq = processor.lsq
+        lsq.nilp = _LyingNilp(lsq.nilp, self, processor)
+
+
 #: Registry of every fault class, keyed by its reporting name.
 FAULT_CLASSES: Dict[str, type] = {
     cls.name: cls
     for cls in (SkipSqSearchFault, SuppressLoadBufferFault,
-                DropSegmentSearchFault)
+                DropSegmentSearchFault, MembarDropFault,
+                NilpCorruptionFault)
 }
 
 

@@ -85,6 +85,12 @@ class BenchmarkProfile:
     #: "conservative" (a barrier before *every* load — the defensive
     #: software the paper calls an overkill).
     membar_policy: str = "none"
+    #: Rate-based barrier emission, orthogonal to ``membar_policy``: a
+    #: ``MEMBAR`` is placed before every ``round(1/rate)``-th load slot,
+    #: so the barrier dispatch/complete path is exercised at a known
+    #: density even under the "none" policy.  0.0 (the default) emits
+    #: nothing and leaves every existing trace byte-identical.
+    membar_rate: float = 0.0
 
     def __post_init__(self) -> None:
         total = self.load_frac + self.store_frac + self.branch_frac
@@ -99,7 +105,7 @@ class BenchmarkProfile:
         for frac_name in ("load_frac", "store_frac", "branch_frac", "fp_frac",
                           "cold_frac", "pair_frac", "pair_noise",
                           "same_addr_load_frac", "branch_noise",
-                          "computed_addr_frac"):
+                          "computed_addr_frac", "membar_rate"):
             value = getattr(self, frac_name)
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{self.name}: {frac_name} out of [0, 1]")

@@ -269,8 +269,17 @@ class SyntheticProgram:
         policy = self.profile.membar_policy
         if policy == "conservative":
             return True
-        if policy == "targeted":
-            return position in mirrors   # the reload side of the pair
+        if policy == "targeted" and position in mirrors:
+            return True                  # the reload side of the pair
+        rate = self.profile.membar_rate
+        if rate > 0.0:
+            # Deterministic density: every round(1/rate)-th load slot is
+            # preceded by a barrier (per-slot coin flips would make low
+            # rates a lottery across kernels).
+            self._membar_counter = getattr(self, "_membar_counter", 0) + 1
+            period = max(1, round(1.0 / rate))
+            if self._membar_counter % period == 0:
+                return True
         return False
 
     def _make_strands(self, unroll: int) -> List[_Strand]:
@@ -649,7 +658,20 @@ class SyntheticProgram:
 
 def generate_trace(benchmark, n_instructions: int = 20_000,
                    seed: int = 0) -> Trace:
-    """Generate a synthetic trace for a benchmark name or profile."""
+    """Generate a synthetic trace for a benchmark name or profile.
+
+    ``litmus/...`` names (see :mod:`repro.litmus`) dispatch to the
+    litmus generator, which makes litmus cells first-class benchmarks
+    everywhere a benchmark name travels — the CLI, the sweep engine and
+    its result cache included.
+    """
+    if isinstance(benchmark, str) and benchmark.startswith("litmus/"):
+        # Imported lazily: repro.litmus depends on this module.
+        from repro.litmus import generate_litmus, parse_litmus_name
+        spec = parse_litmus_name(benchmark)
+        trace, _ = generate_litmus(spec, n_instructions=n_instructions,
+                                   seed=seed)
+        return trace
     profile = (benchmark if isinstance(benchmark, BenchmarkProfile)
                else profile_for(benchmark))
     return SyntheticProgram(profile, seed=seed).emit(n_instructions)

@@ -1,0 +1,436 @@
+"""The memory-consistency torture rig (``repro.litmus``).
+
+* The allowed-outcome enumerator reproduces the textbook truth tables:
+  MP/LB/CoRR/IRIW distinguish TSO from relaxed, SB distinguishes SC
+  from TSO, and fences forbid the relaxed outcomes again.
+* The generator is deterministic in ``(spec, seed)``, emits only whole
+  instances with fresh addresses, and round-trips specs through
+  ``litmus/...`` benchmark names.
+* The full battery — every shape x fenced/unfenced x 8 seeds — commits
+  only allowed outcomes on every machine's declared model, including
+  the relaxed ``MEMBAR``-mode design.
+* The checker fails loudly: doctored verdicts and a genuinely
+  fault-corrupted run both produce forbidden-outcome witnesses with
+  diagnostic bundles, and ``LitmusViolation`` when asked to raise.
+* The litmus fault campaigns (drop-membar, corrupt-nilp) inject and
+  never end silent; each class demonstrably fires and is caught.
+* Litmus cells are first-class benchmarks: ``generate_trace`` and the
+  cached sweep engine accept ``litmus/...`` names.
+* The ``repro litmus`` verb reports distinct exit codes for forbidden
+  outcomes (3), watchdog (4), and usage errors (2).
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro import cli
+from repro.config import (
+    LoadQueueSearchMode,
+    OrderingModel,
+    base_machine,
+)
+from repro.litmus import (
+    ALIEN,
+    SHAPES,
+    LitmusSpec,
+    LitmusViolation,
+    allowed_outcomes,
+    check_outcomes,
+    generate_litmus,
+    interleave_streams,
+    parse_litmus_name,
+    run_battery,
+    run_litmus,
+    run_litmus_fault_campaign,
+)
+from repro.pipeline.processor import Processor
+from repro.validate import SkipSqSearchFault, ValidationChecker
+from repro.workload import generate_trace
+from repro.workload.isa import OpClass
+
+
+def preset_machine(name, ports=2):
+    return replace(base_machine(), lsq=cli.PRESETS[name](ports=ports))
+
+
+def membar_machine(ports=2):
+    return replace(base_machine(),
+                   lsq=replace(cli.PRESETS["conventional"](ports=ports),
+                               lq_search=LoadQueueSearchMode.MEMBAR))
+
+
+def outcomes(shape, model, fenced=False, contexts=0):
+    return allowed_outcomes(SHAPES[shape].programs(contexts, fenced), model)
+
+
+# ---------------------------------------------------------------------------
+# allowed-outcome enumerator: textbook truth tables
+# ---------------------------------------------------------------------------
+
+def test_mp_truth_table():
+    tso = outcomes("mp", OrderingModel.TSO)
+    assert (1, 0) not in tso            # flag set, data stale: forbidden
+    assert {(0, 0), (0, 1), (1, 1)} == tso
+    assert (1, 0) in outcomes("mp", OrderingModel.RELAXED)
+    assert (1, 0) not in outcomes("mp", OrderingModel.RELAXED, fenced=True)
+
+
+def test_sb_truth_table():
+    """SB is the shape that splits SC from TSO."""
+    assert (0, 0) in outcomes("sb", OrderingModel.TSO)
+    assert (0, 0) not in outcomes("sb", OrderingModel.SC)
+    assert (0, 0) not in outcomes("sb", OrderingModel.TSO, fenced=True)
+
+
+def test_lb_truth_table():
+    assert (1, 1) not in outcomes("lb", OrderingModel.TSO)
+    assert (1, 1) in outcomes("lb", OrderingModel.RELAXED)
+    assert (1, 1) not in outcomes("lb", OrderingModel.RELAXED, fenced=True)
+
+
+def test_corr_truth_table():
+    assert (1, 0) not in outcomes("corr", OrderingModel.TSO)
+    assert (1, 0) in outcomes("corr", OrderingModel.RELAXED)
+    assert (1, 0) not in outcomes("corr", OrderingModel.RELAXED,
+                                  fenced=True)
+
+
+def test_iriw_truth_table():
+    """Readers disagreeing on the write order is forbidden under TSO."""
+    disagree = (1, 0, 1, 0)
+    assert disagree not in outcomes("iriw", OrderingModel.TSO)
+    assert disagree in outcomes("iriw", OrderingModel.RELAXED)
+    assert disagree not in outcomes("iriw", OrderingModel.RELAXED,
+                                    fenced=True)
+
+
+def test_models_nest():
+    """SC ⊆ TSO ⊆ RELAXED for every shape, fenced and not."""
+    for shape in SHAPES:
+        for fenced in (False, True):
+            sc = outcomes(shape, OrderingModel.SC, fenced)
+            tso = outcomes(shape, OrderingModel.TSO, fenced)
+            relaxed = outcomes(shape, OrderingModel.RELAXED, fenced)
+            assert sc <= tso <= relaxed
+            assert sc, f"{shape} has no SC outcome at all"
+
+
+def test_enumerator_rejects_auto():
+    with pytest.raises(ValueError):
+        outcomes("mp", OrderingModel.AUTO)
+
+
+# ---------------------------------------------------------------------------
+# ordering-model declaration on the config
+# ---------------------------------------------------------------------------
+
+def test_resolved_ordering_model():
+    assert (base_machine().lsq.resolved_ordering_model
+            is OrderingModel.TSO)
+    assert (membar_machine().lsq.resolved_ordering_model
+            is OrderingModel.RELAXED)
+    explicit = base_machine(ordering_model=OrderingModel.SC)
+    assert explicit.lsq.resolved_ordering_model is OrderingModel.SC
+
+
+# ---------------------------------------------------------------------------
+# generator: determinism, structure, name round-trips
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", [
+    "litmus/mp", "litmus/mp+fence", "litmus/sb@2:rr",
+    "litmus/iriw:pad2:spread", "litmus/corr@3", "litmus/lb+fence@4",
+])
+def test_spec_names_round_trip(name):
+    assert parse_litmus_name(name).name == name
+
+
+@pytest.mark.parametrize("bad", [
+    "litmus/", "litmus/unknown", "litmus/mp@9", "litmus/mp:pad99",
+    "litmus/iriw@2",   # below the shape's context minimum
+])
+def test_bad_names_rejected(bad):
+    with pytest.raises(ValueError):
+        parse_litmus_name(bad)
+
+
+def test_generator_is_deterministic():
+    spec = LitmusSpec(shape="mp", padding=1)
+    first, meta_a = generate_litmus(spec, n_instructions=300, seed=7)
+    second, meta_b = generate_litmus(spec, n_instructions=300, seed=7)
+    assert [i.pc for i in first] == [i.pc for i in second]
+    assert [i.addr for i in first] == [i.addr for i in second]
+    assert meta_a == meta_b
+    third, _ = generate_litmus(spec, n_instructions=300, seed=8)
+    assert [i.addr for i in first] != [i.addr for i in third] or \
+        [i.pc for i in first] != [i.pc for i in third]
+
+
+def test_instances_are_whole_with_fresh_addresses():
+    spec = LitmusSpec(shape="iriw", fenced=True)
+    trace, meta = generate_litmus(spec, n_instructions=200, seed=0)
+    per_instance = sum(
+        len(p) for p in SHAPES["iriw"].programs(meta.contexts, True))
+    assert len(trace) == per_instance * len(meta.instances)
+    seen_addrs = set()
+    for instance in meta.instances:
+        assert all(index >= 0 for index in instance.loads)
+        assert all(index >= 0 for index in instance.stores)
+        addrs = {trace[index].addr for index in instance.stores}
+        assert not (addrs & seen_addrs)   # fresh variables every instance
+        seen_addrs |= addrs
+    fences = sum(1 for inst in trace if inst.op is OpClass.MEMBAR)
+    assert fences == 2 * len(meta.instances)   # one per reader context
+
+
+def test_round_robin_interleaving():
+    merged = interleave_streams([["a0", "a1"], ["b0"], ["c0", "c1"]],
+                                "round_robin", None)
+    assert merged == ["a0", "b0", "c0", "a1", "c1"]
+
+
+# ---------------------------------------------------------------------------
+# the full battery: >=5 shapes x fenced/unfenced x >=8 seeds, all clean
+# ---------------------------------------------------------------------------
+
+@pytest.mark.slow
+def test_full_battery_under_tso():
+    """Acceptance: the whole battery passes under the declared model."""
+    battery = run_battery(preset_machine("techniques", ports=1),
+                          seeds=range(8), n_instructions=240)
+    assert len(battery.reports) == len(SHAPES) * 2 * 8
+    assert battery.model is OrderingModel.TSO
+    assert battery.ok, "\n".join(
+        r.format() for r in battery.reports if not r.ok)
+    # The sweep is not vacuous: cells commit instances and the random
+    # interleavings surface more than one outcome overall.
+    assert all(r.instances > 0 for r in battery.reports)
+    assert any(len(r.counts) > 1 for r in battery.reports)
+
+
+@pytest.mark.slow
+def test_relaxed_battery_on_membar_machine():
+    """The Section 2.2 software-ordering design declares RELAXED; its
+    fenced battery still commits only fence-ordered outcomes."""
+    battery = run_battery(membar_machine(), seeds=range(4),
+                          n_instructions=240)
+    assert battery.model is OrderingModel.RELAXED
+    assert battery.ok, "\n".join(
+        r.format() for r in battery.reports if not r.ok)
+
+
+def test_observed_outcomes_are_sequentially_consistent():
+    """Single-stream commit means clean runs land inside SC — the
+    strictest model — so holding them to TSO can never be vacuous."""
+    report = run_litmus(LitmusSpec(shape="sb"),
+                        preset_machine("conventional"),
+                        seed=3, model=OrderingModel.SC)
+    assert report.ok, report.format()
+
+
+# ---------------------------------------------------------------------------
+# the checker fails loudly
+# ---------------------------------------------------------------------------
+
+def doctored_run(outcome):
+    """A real MP run whose first instance's verdicts are doctored to
+    produce ``outcome`` (1 = saw the store, 0 = initial value)."""
+    spec = LitmusSpec(shape="mp")
+    trace, meta = generate_litmus(spec, n_instructions=120, seed=0)
+    checker = ValidationChecker(raise_on_error=False)
+    processor = Processor(preset_machine("conventional"), checker=checker)
+    processor.run(trace)
+    verdicts = dict(checker.load_verdicts)
+    first = meta.instances[0]
+    for role, value in enumerate(outcome):
+        store_index = first.stores[meta.load_vars[role]]
+        verdicts[first.loads[role]] = (
+            store_index if value else None, None)
+    return meta, verdicts, processor
+
+
+def test_forbidden_outcome_produces_witness_and_bundle():
+    meta, verdicts, processor = doctored_run((1, 0))   # MP's forbidden pair
+    report = check_outcomes(meta, verdicts, OrderingModel.TSO,
+                            processor=processor)
+    assert not report.ok
+    assert len(report.witnesses) == 1
+    witness = report.witnesses[0]
+    assert witness.outcome == (1, 0)
+    assert "forbidden" in witness.detail
+    assert witness.bundle is not None
+    assert "FORBIDDEN" in report.format()
+
+
+def test_forbidden_outcome_raises_when_asked():
+    meta, verdicts, processor = doctored_run((1, 0))
+    with pytest.raises(LitmusViolation) as excinfo:
+        check_outcomes(meta, verdicts, OrderingModel.TSO,
+                       processor=processor, raise_on_forbidden=True)
+    assert excinfo.value.bundle is not None
+
+
+def test_alien_value_is_always_forbidden():
+    """A load observing a store from outside its instance can never be
+    an allowed outcome."""
+    spec = LitmusSpec(shape="mp")
+    _, meta = generate_litmus(spec, n_instructions=120, seed=0)
+    checker_verdicts = {}
+    first, second = meta.instances[0], meta.instances[1]
+    checker_verdicts[first.loads[0]] = (second.stores[0], None)  # alien
+    checker_verdicts[first.loads[1]] = (None, None)
+    report = check_outcomes(meta, checker_verdicts, OrderingModel.RELAXED)
+    assert report.incomplete == len(meta.instances) - 1
+    assert len(report.witnesses) == 1
+    assert ALIEN in report.witnesses[0].outcome
+
+
+def test_fault_injected_forbidden_outcome_end_to_end():
+    """Acceptance: an injected violation makes the checker fail loudly.
+
+    Forcing MP's data load to skip the store-queue search (while the
+    flag load forwards normally) commits the textbook forbidden
+    ``flag=1, data=0`` — the litmus checker must catch it even though
+    it is a *value* corruption the shape was designed to expose."""
+    trace, meta = generate_litmus(LitmusSpec(shape="mp"),
+                                  n_instructions=240, seed=0)
+    checker = ValidationChecker(raise_on_error=False)
+    processor = Processor(preset_machine("conventional"), checker=checker)
+    SkipSqSearchFault(seed=0, rate=0.5).install(processor)
+    processor.run(trace)
+    report = check_outcomes(meta, checker.load_verdicts, OrderingModel.TSO,
+                            processor=processor)
+    assert (1, 0) in report.counts
+    assert report.witnesses
+    assert report.witnesses[0].bundle is not None
+    # The oracle saw the same corruption its own way.
+    assert checker.failures
+
+
+# ---------------------------------------------------------------------------
+# fault campaigns over the battery: proof of detection
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("preset", ["conventional", "techniques"])
+def test_litmus_fault_campaign_never_silent(preset):
+    campaigns = run_litmus_fault_campaign(
+        preset_machine(preset), shapes=("mp", "corr"), seeds=(0, 1),
+        n_instructions=200, rate=0.5)
+    assert set(campaigns) == {"drop-membar", "corrupt-nilp"}
+    fired = {name: 0 for name in campaigns}
+    for name, reports in campaigns.items():
+        for report in reports:
+            assert report.ok, report.format()
+            assert not report.counts.get("unresolved")
+            fired[name] += len(report.outcomes)
+    # Not vacuous: both classes inject on litmus traffic.
+    assert fired["drop-membar"] > 0
+    assert fired["corrupt-nilp"] > 0
+
+
+def test_membar_drop_is_recovered_on_litmus_traffic():
+    """Dropping barriers on fenced litmus traffic lets loads issue
+    early; the store's LQ search catches the premature ones, so the
+    campaign shows real recoveries (never silences)."""
+    campaigns = run_litmus_fault_campaign(
+        preset_machine("conventional"), fault_names=("drop-membar",),
+        shapes=("mp", "corr"), seeds=(0, 1), n_instructions=200, rate=0.5)
+    recovered = sum(report.counts.get("recovered", 0)
+                    for report in campaigns["drop-membar"])
+    assert recovered > 0
+    assert all(report.ok for report in campaigns["drop-membar"])
+
+
+# ---------------------------------------------------------------------------
+# litmus cells as first-class benchmarks
+# ---------------------------------------------------------------------------
+
+def test_generate_trace_dispatches_litmus_names():
+    trace = generate_trace("litmus/mp+fence", n_instructions=120, seed=2)
+    assert trace.name == "litmus/mp+fence"
+    assert any(inst.op is OpClass.MEMBAR for inst in trace)
+    direct, _ = generate_litmus(parse_litmus_name("litmus/mp+fence"),
+                                n_instructions=120, seed=2)
+    assert [i.pc for i in trace] == [i.pc for i in direct]
+
+
+def test_engine_caches_litmus_cells(tmp_path):
+    from repro.harness.engine import Cell, ResultCache, SweepEngine
+
+    def cell():
+        return Cell(benchmark="litmus/sb", seed=1, n_instructions=160,
+                    machine=preset_machine("conventional"))
+
+    first = SweepEngine(cache=ResultCache(tmp_path)).run_cell(cell())
+    second = SweepEngine(cache=ResultCache(tmp_path)).run_cell(cell())
+    assert not first.cached and second.cached
+    assert first.result.stats == second.result.stats
+
+
+# ---------------------------------------------------------------------------
+# CLI: exit codes and the smoke slice
+# ---------------------------------------------------------------------------
+
+def run_cli(argv):
+    try:
+        cli.main(argv)
+    except SystemExit as error:
+        return error.code or 0
+    return 0
+
+
+def test_cli_litmus_smoke_passes(capsys):
+    assert run_cli(["litmus", "--smoke"]) == 0
+    out = capsys.readouterr().out
+    assert "litmus/mp" in out and "litmus/sb+fence" in out
+    assert "drop-membar" in out
+
+
+def test_cli_litmus_exit_codes(capsys, monkeypatch):
+    # Usage errors: argparse's own exit code 2.
+    assert run_cli(["litmus", "bogus-shape"]) == cli.EXIT_USAGE
+    assert run_cli(["litmus", "mp", "--seed-range", "5:2"]) == cli.EXIT_USAGE
+    # A clean single cell exits 0.
+    assert run_cli(["litmus", "mp", "--seed-range", "0:2",
+                    "-n", "120"]) == 0
+
+    # Forbidden outcomes exit 3: doctor the battery runner.
+    import repro.litmus as litmus_pkg
+
+    real_run_battery = litmus_pkg.run_battery
+
+    def forbidden_battery(machine, **kwargs):
+        battery = real_run_battery(machine, **kwargs)
+        meta, verdicts, processor = doctored_run((1, 0))
+        battery.reports.append(check_outcomes(
+            meta, verdicts, OrderingModel.TSO, processor=processor))
+        return battery
+
+    monkeypatch.setattr(litmus_pkg, "run_battery", forbidden_battery)
+    assert run_cli(["litmus", "mp", "--seed-range", "0:1",
+                    "-n", "120"]) == cli.EXIT_FORBIDDEN
+
+    # A watchdog trip exits 4.
+    from repro.validate import SimulationDeadlock
+
+    def hung_battery(machine, **kwargs):
+        raise SimulationDeadlock("no commit in 10000 cycles")
+
+    monkeypatch.setattr(litmus_pkg, "run_battery", hung_battery)
+    assert run_cli(["litmus", "mp"]) == cli.EXIT_WATCHDOG
+
+
+def test_cli_run_accepts_litmus_benchmark(capsys):
+    assert run_cli(["run", "litmus/corr", "-n", "160",
+                    "--lsq", "techniques"]) == 0
+    assert "litmus/corr" in capsys.readouterr().out
+
+
+def test_cli_seed_range_parser():
+    assert cli._parse_seed_range("0:4") == [0, 1, 2, 3]
+    assert cli._parse_seed_range("7") == [7]
+    with pytest.raises(SystemExit):
+        cli._parse_seed_range("4:4")
+    with pytest.raises(SystemExit):
+        cli._parse_seed_range("a:b")

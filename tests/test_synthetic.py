@@ -11,6 +11,7 @@ from repro.workload.spec2k import (
     BenchmarkProfile,
     profile_for,
 )
+from repro.workload.isa import OpClass
 from repro.workload.synthetic import (
     SyntheticProgram,
     colliding_pc,
@@ -237,3 +238,38 @@ class TestBranches:
         for inst in trace:
             if inst.is_branch:
                 assert inst.target > 0
+
+
+class TestMembarRate:
+    def test_default_traces_have_no_membars(self):
+        """membar_rate defaults to 0.0 and must leave default-profile
+        traces byte-identical (the golden-parity digests depend on it)."""
+        assert all(p.membar_rate == 0.0 for p in SPEC2K_PROFILES.values())
+        trace = generate_trace("gcc", n_instructions=1500)
+        assert not any(inst.op is OpClass.MEMBAR for inst in trace)
+
+    def test_rejects_bad_membar_rate(self):
+        with pytest.raises(ValueError):
+            small_profile(membar_rate=1.5)
+
+    def test_membars_appear_at_requested_density(self):
+        profile = small_profile(membar_rate=0.25)
+        trace = SyntheticProgram(profile, seed=1).emit(1200)
+        membars = sum(1 for inst in trace if inst.op is OpClass.MEMBAR)
+        loads = sum(1 for inst in trace if inst.is_load)
+        assert membars > 0
+        # Deterministic density: one barrier per 1/rate load slots.
+        assert membars == pytest.approx(loads * 0.25, rel=0.35)
+
+    def test_membars_commit(self):
+        """The emitted barriers actually travel the pipeline: they
+        commit, and they gate load issue along the way."""
+        from repro.config import base_machine
+        from repro.pipeline.processor import simulate
+
+        profile = small_profile(membar_rate=0.2)
+        trace = SyntheticProgram(profile, seed=2).emit(1000)
+        result = simulate(trace, base_machine(), validate=True)
+        emitted = sum(1 for inst in trace if inst.op is OpClass.MEMBAR)
+        assert result.stats.committed_membars == emitted
+        assert result.stats.membar_stalls > 0
