@@ -42,3 +42,17 @@ def split_by_baseline(findings: Sequence[Finding],
     for finding in findings:
         (old if finding.fingerprint() in baseline else new).append(finding)
     return new, old
+
+
+def stale_entries(findings: Sequence[Finding],
+                  baseline: Dict[str, str]) -> List[str]:
+    """Baseline fingerprints that no current finding matches.
+
+    Stale entries are accepted debt that was since paid off (or code
+    that moved, invalidating the ``rule::path::line`` key) — either
+    way the baseline no longer reflects reality and should be
+    rewritten, lest it silently swallow a *future* finding landing on
+    the same line.
+    """
+    current = {finding.fingerprint() for finding in findings}
+    return sorted(key for key in baseline if key not in current)

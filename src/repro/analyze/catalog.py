@@ -113,6 +113,61 @@ RULE_CATALOG: Dict[str, RuleInfo] = {
                   "hazard",
         fixit="gate the booking on an admission check in the same function",
     ),
+    "SIM-T001": RuleInfo(
+        family="time-taint",
+        title="host-index value flows into a SimStats counter",
+        rationale="host-only index structures (_order/_granules/_live/"
+                  "occupancy mirrors) exist to make the simulator fast, not "
+                  "to describe the modeled hardware; charging a counter from "
+                  "one prices the host shortcut instead of the paper's "
+                  "machine, silently skewing every derived metric",
+        fixit="recompute the charged quantity from model state (window "
+              "contents, search itinerary), route it through a "
+              "SIM_LINT_MODEL_VIEWS accessor, or suppress with a comment "
+              "proving host view == model view at this site",
+    ),
+    "SIM-T002": RuleInfo(
+        family="time-taint",
+        title="host-index value flows into a modeled latency or port charge",
+        rationale="a reserve()/charge*() argument or *_cycles/latency "
+                  "attribute derived from a host index makes modeled timing "
+                  "depend on host bookkeeping — the exact host/model "
+                  "confusion the golden-digest parity suite guards against, "
+                  "caught here before it runs",
+        fixit="derive the charged cycles/slots from the modeled itinerary "
+              "(backward_path()/forward_path()) or other model state",
+    ),
+    "SIM-K001": RuleInfo(
+        family="cache-key",
+        title="Cell field read on the simulation path but absent from the "
+              "cache-key digest",
+        rationale="the sweep cache serves any result whose digest matches; "
+                  "a field that changes simulation behaviour but is not "
+                  "hashed makes two different experiments collide on one "
+                  "cache entry — stale results with no error",
+        fixit="add the field to the digest payload in Cell.digest(), or "
+              "declare it display-only in SIM_LINT_CACHE_KEY_EXEMPT next "
+              "to the Cell class",
+    ),
+    "SIM-O001": RuleInfo(
+        family="obs-purity",
+        title="observer emission not dominated by an is-not-None guard",
+        rationale="components hold obs = None when no observer is attached "
+                  "— the common, full-speed path; an unguarded emission is "
+                  "a latent AttributeError on every un-instrumented run",
+        fixit="wrap the emission in 'if self.obs is not None:' (alias to a "
+              "local first on hot paths: obs = self.obs)",
+    ),
+    "SIM-O002": RuleInfo(
+        family="obs-purity",
+        title="observer emission argument has a side-effect risk",
+        rationale="emission arguments are evaluated even when the event is "
+                  "dropped; a side-effecting argument makes model state "
+                  "depend on whether tracing is attached, breaking "
+                  "traced/untraced digest parity",
+        fixit="precompute the value from pure reads, or move the side "
+              "effect out of the emission's argument list",
+    ),
     "SIM-P002": RuleInfo(
         family="port-discipline",
         title="admission verdict discarded",

@@ -1,0 +1,53 @@
+"""Whole-program dataflow machinery behind the flow-aware rule families.
+
+The first generation of ``repro.analyze`` rules (SIM-D/M/C/P) is
+first-order: each looks at one AST shape at a time.  The invariants
+added by the performance and caching work — "index the host, charge the
+model", cache-key completeness, zero-cost-when-detached observability —
+are *flow* properties: a value travels from a read site through
+assignments, returns and calls before it reaches the place where it
+becomes wrong.  This package supplies the machinery those rules need:
+
+:mod:`~repro.analyze.dataflow.cfg`
+    Per-function control-flow graphs with *guard facts* on branch
+    edges (``x is not None`` on the true edge), plus a must-analysis
+    computing which guards hold at every statement — how SIM-O proves
+    an ``obs`` emission can only execute under its None-check.
+:mod:`~repro.analyze.dataflow.defuse`
+    Reaching definitions and def-use chains for function-local names
+    over the CFG — how taint follows assignments flow-sensitively.
+:mod:`~repro.analyze.dataflow.callgraph`
+    A project-wide, name-resolved call graph over every parsed module,
+    with ``@hotpath`` marking and reachability queries — how SIM-K
+    scopes "code reachable from ``simulate()``" and how SIM-T carries
+    taint through returns and calls.
+:mod:`~repro.analyze.dataflow.taint`
+    A label-set taint engine parameterised by a :class:`TaintSpec`
+    (source attributes/calls, blessed model-view accessors, pure
+    builtins).  Function summaries record whether returns are tainted
+    (including "tainted iff argument *i* is") and which parameters
+    flow into sinks, so taint crosses call boundaries in both
+    directions without context explosion.
+
+Everything here is pure stdlib ``ast`` and deliberately conservative:
+name-based call resolution over-approximates (two methods sharing a
+name are merged), and unresolved calls launder taint in normal mode but
+propagate it in ``@hotpath`` strict mode.  The soundness trade-offs per
+rule are documented in ``docs/STATIC_ANALYSIS.md``.
+"""
+
+from repro.analyze.dataflow.callgraph import CallGraph, FunctionInfo
+from repro.analyze.dataflow.cfg import CFG, build_cfg
+from repro.analyze.dataflow.defuse import DefUse
+from repro.analyze.dataflow.taint import TaintEngine, TaintSpec, TaintTag
+
+__all__ = [
+    "CFG",
+    "CallGraph",
+    "DefUse",
+    "FunctionInfo",
+    "TaintEngine",
+    "TaintSpec",
+    "TaintTag",
+    "build_cfg",
+]

@@ -1,0 +1,168 @@
+"""Project-wide, name-resolved call graph over the parsed corpus.
+
+Python has no static dispatch, so resolution is by *trailing name*: a
+call ``a.b.search(...)`` is linked to every function or method named
+``search`` anywhere in the corpus.  This over-approximates (two
+unrelated ``reserve`` methods merge) but never misses a real edge
+within the analyzed tree — the right bias for the taint and
+reachability rules built on top.  Calls that resolve to nothing
+(builtins, stdlib, third-party) are recorded as *unresolved*; the
+taint engine decides per mode whether they launder or propagate.
+
+Each function carries its module, enclosing class, ``@hotpath``
+marking, and lazily-built CFG/def-use solutions so every rule shares
+one set of solves.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analyze.dataflow.cfg import CFG, build_cfg
+from repro.analyze.dataflow.defuse import DefUse
+from repro.analyze.engine import SourceModule
+
+
+def is_hotpath(func: ast.AST) -> bool:
+    """True when ``func`` carries a ``@hotpath`` decoration (bare name,
+    attribute access, or a decorator-factory call of either)."""
+    for decorator in getattr(func, "decorator_list", []):
+        target = decorator.func if isinstance(decorator, ast.Call) \
+            else decorator
+        if isinstance(target, ast.Name) and target.id == "hotpath":
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == "hotpath":
+            return True
+    return False
+
+
+def callee_name(node: ast.Call) -> Optional[str]:
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def own_nodes(func: ast.AST) -> Iterable[ast.AST]:
+    """Walk ``func`` without descending into nested function/class
+    scopes (the module node stops at *any* function)."""
+    stack: List[ast.AST] = list(getattr(func, "body", []))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            continue                   # nested scope: statements not ours
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@dataclass
+class FunctionInfo:
+    """One function/method definition plus its lazy dataflow solves."""
+
+    index: int
+    module: SourceModule
+    node: ast.AST                      # FunctionDef / AsyncFunctionDef
+    name: str
+    class_name: Optional[str]
+    hotpath: bool
+    _cfg: Optional[CFG] = field(default=None, repr=False)
+    _defuse: Optional[DefUse] = field(default=None, repr=False)
+
+    @property
+    def qualname(self) -> str:
+        if self.class_name:
+            return f"{self.class_name}.{self.name}"
+        return self.name
+
+    @property
+    def label(self) -> str:
+        return f"{self.module.path}:{self.qualname}"
+
+    def cfg(self) -> CFG:
+        if self._cfg is None:
+            self._cfg = build_cfg(self.node)
+        return self._cfg
+
+    def defuse(self) -> DefUse:
+        if self._defuse is None:
+            self._defuse = DefUse.build(self.node, self.cfg())
+        return self._defuse
+
+    def calls(self) -> List[ast.Call]:
+        return [node for node in own_nodes(self.node)
+                if isinstance(node, ast.Call)]
+
+
+class CallGraph:
+    """Every function in the corpus, indexed by trailing name."""
+
+    def __init__(self, modules: Sequence[SourceModule]) -> None:
+        self.functions: List[FunctionInfo] = []
+        self.by_name: Dict[str, List[FunctionInfo]] = {}
+        for module in modules:
+            self._index_module(module)
+        #: callee FunctionInfo indices per caller index.
+        self._callee_cache: Dict[int, Set[int]] = {}
+
+    def _index_module(self, module: SourceModule) -> None:
+        def visit(node: ast.AST, class_name: Optional[str]) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef)):
+                    info = FunctionInfo(
+                        index=len(self.functions), module=module,
+                        node=child, name=child.name,
+                        class_name=class_name, hotpath=is_hotpath(child))
+                    self.functions.append(info)
+                    self.by_name.setdefault(child.name, []).append(info)
+                    visit(child, None)     # nested defs: plain functions
+                elif isinstance(child, ast.ClassDef):
+                    visit(child, child.name)
+                else:
+                    visit(child, class_name)
+        visit(module.tree, None)
+
+    # -- resolution ---------------------------------------------------------
+
+    def resolve_call(self, node: ast.Call) -> List[FunctionInfo]:
+        name = callee_name(node)
+        if name is None:
+            return []
+        return self.by_name.get(name, [])
+
+    def callees_of(self, info: FunctionInfo) -> Set[int]:
+        cached = self._callee_cache.get(info.index)
+        if cached is not None:
+            return cached
+        out: Set[int] = set()
+        for call in info.calls():
+            for callee in self.resolve_call(call):
+                out.add(callee.index)
+        self._callee_cache[info.index] = out
+        return out
+
+    def reachable_from(self, entry_names: Iterable[str]) -> Set[int]:
+        """Indices of every function reachable (by name resolution)
+        from any function named in ``entry_names``."""
+        work: List[int] = []
+        seen: Set[int] = set()
+        for name in entry_names:
+            for info in self.by_name.get(name, []):
+                if info.index not in seen:
+                    seen.add(info.index)
+                    work.append(info.index)
+        while work:
+            current = work.pop()
+            for callee in self.callees_of(self.functions[current]):
+                if callee not in seen:
+                    seen.add(callee)
+                    work.append(callee)
+        return seen
+
+    def functions_of_module(self, module: SourceModule) -> List[FunctionInfo]:
+        return [info for info in self.functions if info.module is module]

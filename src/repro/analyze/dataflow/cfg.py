@@ -1,0 +1,352 @@
+"""Per-function control-flow graphs with guard facts.
+
+A :class:`CFG` lowers one function body (or a module's top level) into
+basic blocks connected by edges.  Branch edges carry **guard facts** —
+canonical strings like ``nonnull:self.obs`` — extracted from the branch
+condition: the true edge of ``if x is not None:`` (and of a bare
+truthiness test ``if x:``) asserts the fact, the false edge of
+``if x is None:`` asserts it, ``and`` chains assert every conjunct on
+the true edge, ``or`` chains assert every negated operand on the false
+edge, and ``not`` swaps the two.
+
+:meth:`CFG.guard_facts_at` then runs a forward *must* analysis (meet =
+intersection over predecessors, loops iterated to a fixpoint) so a rule
+can ask "which guards provably hold every time this statement runs?" —
+the question SIM-O asks of every ``obs`` emission.  Facts are killed by
+any assignment to the guarded name (or to a prefix of the guarded
+attribute chain) because the binding the guard tested may no longer be
+the binding the use sees.
+
+``try`` blocks are modelled coarsely (the body may jump to any handler
+at any point, so handler entry keeps no facts from inside the body);
+``assert`` acts as a guard whose false edge raises.  This
+over-approximates reachability and under-approximates facts — the safe
+direction for a must-analysis.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+#: A guard fact: ``"nonnull:<canonical expr>"``.
+Fact = str
+
+_EMPTY: FrozenSet[Fact] = frozenset()
+
+
+def canonical_expr(node: ast.AST) -> Optional[str]:
+    """Dotted-path form of a Name/Attribute chain (``self.obs``), or
+    ``None`` for anything that is not a plain chain."""
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def nonnull_fact(node: ast.AST) -> Optional[Fact]:
+    path = canonical_expr(node)
+    return f"nonnull:{path}" if path is not None else None
+
+
+def test_facts(test: ast.AST) -> Tuple[FrozenSet[Fact], FrozenSet[Fact]]:
+    """Facts asserted by a condition: ``(on_true, on_false)``."""
+    if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+        on_true, on_false = test_facts(test.operand)
+        return on_false, on_true
+    if isinstance(test, ast.BoolOp):
+        if isinstance(test.op, ast.And):
+            true_facts: Set[Fact] = set()
+            for value in test.values:
+                true_facts |= test_facts(value)[0]
+            return frozenset(true_facts), _EMPTY
+        false_facts: Set[Fact] = set()
+        for value in test.values:
+            false_facts |= test_facts(value)[1]
+        return _EMPTY, frozenset(false_facts)
+    if isinstance(test, ast.Compare) and len(test.ops) == 1 \
+            and isinstance(test.comparators[0], ast.Constant) \
+            and test.comparators[0].value is None:
+        fact = nonnull_fact(test.left)
+        if fact is None:
+            return _EMPTY, _EMPTY
+        if isinstance(test.ops[0], ast.IsNot):
+            return frozenset({fact}), _EMPTY
+        if isinstance(test.ops[0], ast.Is):
+            return _EMPTY, frozenset({fact})
+        return _EMPTY, _EMPTY
+    # Bare truthiness test of a name/attribute: truthy implies not-None.
+    fact = nonnull_fact(test)
+    if fact is not None:
+        return frozenset({fact}), _EMPTY
+    return _EMPTY, _EMPTY
+
+
+class Block:
+    """One basic block: statements plus fact-labelled out-edges."""
+
+    __slots__ = ("bid", "stmts", "edges")
+
+    def __init__(self, bid: int) -> None:
+        self.bid = bid
+        self.stmts: List[ast.stmt] = []
+        #: ``(successor block id, facts asserted on this edge)``.
+        self.edges: List[Tuple[int, FrozenSet[Fact]]] = []
+
+
+def _killed_facts(stmt: ast.stmt) -> Set[str]:
+    """Canonical paths (re)bound by ``stmt`` — facts on them die."""
+    killed: Set[str] = set()
+    targets: List[ast.AST] = []
+    if isinstance(stmt, ast.Assign):
+        targets = list(stmt.targets)
+    elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+        targets = [stmt.target]
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        targets = [stmt.target]
+    elif isinstance(stmt, ast.Delete):
+        targets = list(stmt.targets)
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        targets = [item.optional_vars for item in stmt.items
+                   if item.optional_vars is not None]
+    for node in ast.walk(stmt):
+        if isinstance(node, ast.NamedExpr):
+            targets.append(node.target)
+    for target in targets:
+        stack = [target]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.Tuple, ast.List)):
+                stack.extend(node.elts)
+                continue
+            if isinstance(node, ast.Starred):
+                stack.append(node.value)
+                continue
+            path = canonical_expr(node)
+            if path is not None:
+                killed.add(path)
+    return killed
+
+
+def _fact_survives(fact: Fact, killed: Set[str]) -> bool:
+    path = fact.split(":", 1)[1]
+    for bound in killed:
+        if path == bound or path.startswith(bound + "."):
+            return False
+    return True
+
+
+class CFG:
+    """The lowered function: blocks, entry/exit ids, fact queries."""
+
+    def __init__(self, blocks: List[Block], entry: int, exit_id: int) -> None:
+        self.blocks = blocks
+        self.entry = entry
+        self.exit = exit_id
+        self._block_of_stmt: Dict[int, int] = {}
+        for block in blocks:
+            for stmt in block.stmts:
+                self._block_of_stmt[id(stmt)] = block.bid
+        self._facts_in: Optional[List[FrozenSet[Fact]]] = None
+
+    # -- structure queries ---------------------------------------------------
+
+    def block_of(self, stmt: ast.stmt) -> Optional[Block]:
+        bid = self._block_of_stmt.get(id(stmt))
+        return self.blocks[bid] if bid is not None else None
+
+    def predecessors(self) -> Dict[int, List[Tuple[int, FrozenSet[Fact]]]]:
+        preds: Dict[int, List[Tuple[int, FrozenSet[Fact]]]] = \
+            {block.bid: [] for block in self.blocks}
+        for block in self.blocks:
+            for succ, facts in block.edges:
+                preds[succ].append((block.bid, facts))
+        return preds
+
+    # -- guard-fact must-analysis -------------------------------------------
+
+    def _block_kill(self, block: Block) -> Set[str]:
+        killed: Set[str] = set()
+        for stmt in block.stmts:
+            killed |= _killed_facts(stmt)
+        return killed
+
+    def _solve_facts(self) -> List[FrozenSet[Fact]]:
+        if self._facts_in is not None:
+            return self._facts_in
+        all_facts: Set[Fact] = set()
+        for block in self.blocks:
+            for __, facts in block.edges:
+                all_facts |= facts
+        top = frozenset(all_facts)
+        preds = self.predecessors()
+        facts_in: List[FrozenSet[Fact]] = [top for __ in self.blocks]
+        facts_in[self.entry] = _EMPTY
+        kills = [self._block_kill(block) for block in self.blocks]
+        changed = True
+        while changed:
+            changed = False
+            for block in self.blocks:
+                if block.bid == self.entry:
+                    continue
+                incoming: Optional[Set[Fact]] = None
+                for pred, edge_facts in preds[block.bid]:
+                    surviving = {fact for fact in facts_in[pred]
+                                 if _fact_survives(fact, kills[pred])}
+                    surviving |= edge_facts
+                    incoming = surviving if incoming is None \
+                        else incoming & surviving
+                new = frozenset(incoming) if incoming is not None else top
+                if new != facts_in[block.bid]:
+                    facts_in[block.bid] = new
+                    changed = True
+        self._facts_in = facts_in
+        return facts_in
+
+    def guard_facts_at(self, stmt: ast.stmt) -> FrozenSet[Fact]:
+        """Facts that provably hold when ``stmt`` begins executing.
+
+        Block-entry facts minus anything killed by earlier statements
+        of the same block.
+        """
+        block = self.block_of(stmt)
+        if block is None:
+            return _EMPTY
+        facts = set(self._solve_facts()[block.bid])
+        for earlier in block.stmts:
+            if earlier is stmt:
+                break
+            killed = _killed_facts(earlier)
+            facts = {fact for fact in facts if _fact_survives(fact, killed)}
+        return frozenset(facts)
+
+
+class _Builder:
+    """Recursive statement lowering shared by every compound form."""
+
+    def __init__(self) -> None:
+        self.blocks: List[Block] = []
+        #: (continue target, break target) per enclosing loop.
+        self.loops: List[Tuple[int, int]] = []
+        self.exit = self.new_block().bid
+
+    def new_block(self) -> Block:
+        block = Block(len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def edge(self, src: int, dst: int,
+             facts: FrozenSet[Fact] = _EMPTY) -> None:
+        self.blocks[src].edges.append((dst, facts))
+
+    def lower(self, stmts: Sequence[ast.stmt], current: int) -> int:
+        """Lower ``stmts`` starting in block ``current``; return the
+        block in control after the sequence (dead block if it cannot
+        fall through)."""
+        for stmt in stmts:
+            current = self.lower_stmt(stmt, current)
+        return current
+
+    def lower_stmt(self, stmt: ast.stmt, current: int) -> int:
+        if isinstance(stmt, ast.If):
+            self.blocks[current].stmts.append(stmt)
+            on_true, on_false = test_facts(stmt.test)
+            then = self.new_block()
+            self.edge(current, then.bid, on_true)
+            join = self.new_block()
+            after_then = self.lower(stmt.body, then.bid)
+            self.edge(after_then, join.bid)
+            if stmt.orelse:
+                other = self.new_block()
+                self.edge(current, other.bid, on_false)
+                after_else = self.lower(stmt.orelse, other.bid)
+                self.edge(after_else, join.bid)
+            else:
+                self.edge(current, join.bid, on_false)
+            return join.bid
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            header = self.new_block()
+            self.edge(current, header.bid)
+            header.stmts.append(stmt)
+            body = self.new_block()
+            after = self.new_block()
+            if isinstance(stmt, ast.While):
+                on_true, on_false = test_facts(stmt.test)
+            else:
+                on_true, on_false = _EMPTY, _EMPTY
+            self.edge(header.bid, body.bid, on_true)
+            self.edge(header.bid, after.bid, on_false)
+            self.loops.append((header.bid, after.bid))
+            end_body = self.lower(stmt.body, body.bid)
+            self.loops.pop()
+            self.edge(end_body, header.bid)
+            if stmt.orelse:
+                after = self.new_block()      # else runs on normal exit
+                else_entry = self.new_block()
+                # Rewire the header's exit edge through the else suite.
+                header.edges[-1] = (else_entry.bid, on_false)
+                end_else = self.lower(stmt.orelse, else_entry.bid)
+                self.edge(end_else, after.bid)
+            return after.bid
+        if isinstance(stmt, (ast.Try, getattr(ast, "TryStar", ast.Try))):
+            body_entry = self.new_block()
+            self.edge(current, body_entry.bid)
+            join = self.new_block()
+            end_body = self.lower(stmt.body, body_entry.bid)
+            end_else = self.lower(stmt.orelse, end_body) \
+                if stmt.orelse else end_body
+            self.edge(end_else, join.bid)
+            for handler in stmt.handlers:
+                handler_entry = self.new_block()
+                # Any point of the body may raise: edge from the body's
+                # entry with no facts (coarse but safe for must-facts).
+                self.edge(body_entry.bid, handler_entry.bid)
+                self.edge(current, handler_entry.bid)
+                end_handler = self.lower(handler.body, handler_entry.bid)
+                self.edge(end_handler, join.bid)
+            if stmt.finalbody:
+                final_entry = self.new_block()
+                self.edge(join.bid, final_entry.bid)
+                return self.lower(stmt.finalbody, final_entry.bid)
+            return join.bid
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self.blocks[current].stmts.append(stmt)
+            return self.lower(stmt.body, current)
+        if isinstance(stmt, ast.Assert):
+            self.blocks[current].stmts.append(stmt)
+            on_true, __ = test_facts(stmt.test)
+            cont = self.new_block()
+            self.edge(current, cont.bid, on_true)
+            self.edge(current, self.exit)
+            return cont.bid
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            self.blocks[current].stmts.append(stmt)
+            self.edge(current, self.exit)
+            return self.new_block().bid       # unreachable continuation
+        if isinstance(stmt, ast.Break):
+            self.blocks[current].stmts.append(stmt)
+            if self.loops:
+                self.edge(current, self.loops[-1][1])
+            return self.new_block().bid
+        if isinstance(stmt, ast.Continue):
+            self.blocks[current].stmts.append(stmt)
+            if self.loops:
+                self.edge(current, self.loops[-1][0])
+            return self.new_block().bid
+        # Simple statement (assignments, expressions, nested defs...).
+        self.blocks[current].stmts.append(stmt)
+        return current
+
+
+def build_cfg(func: ast.AST) -> CFG:
+    """Lower a function (or module) body into a :class:`CFG`."""
+    builder = _Builder()
+    entry = builder.new_block()
+    end = builder.lower(getattr(func, "body", []), entry.bid)
+    builder.edge(end, builder.exit)
+    return CFG(builder.blocks, entry.bid, builder.exit)

@@ -1,0 +1,263 @@
+"""Reaching definitions and def-use chains over a :class:`~repro.analyze.
+dataflow.cfg.CFG`.
+
+Scope is one function's *local names*: parameters, assignment targets,
+loop/with/except bindings, and walrus targets.  Attribute and subscript
+stores are not definitions here (the taint engine treats attribute
+reads by name instead).  Nested function bodies are opaque — their
+statements belong to their own CFG/def-use instance.
+
+Every definition is a :class:`Definition` carrying the value
+expression(s) that produced it; a use (a ``Name`` in Load context) maps
+to the set of definitions that reach it, computed flow-sensitively: the
+classic gen/kill bit-vector fixpoint per block, then an in-order walk
+of each block to resolve individual loads.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analyze.dataflow.cfg import CFG
+
+#: Container methods that write their arguments into the receiver: a
+#: bare ``x.append(v)`` statement is modelled as an *augmenting*
+#: definition of ``x`` (keeps prior contents, adds ``v``'s taint) so
+#: the accumulate-into-a-local idiom cannot launder a flow.
+_MUTATOR_METHODS = frozenset({
+    "append", "appendleft", "extend", "extendleft", "add", "insert",
+    "push", "setdefault", "update",
+})
+
+
+@dataclass
+class Definition:
+    """One binding of ``name``, with the expression(s) bound."""
+
+    def_id: int
+    name: str
+    #: Value expressions whose taint the binding inherits.  A tuple
+    #: unpack binds each target to the whole RHS (coarse); a parameter
+    #: or opaque binding (``except E as name``) has none.
+    value_exprs: Tuple[ast.AST, ...]
+    #: ``x += v`` also keeps whatever reached ``x`` before.
+    augments: bool = False
+    #: Parameter index when this is a function-parameter binding.
+    param_index: Optional[int] = None
+    line: int = 0
+    #: Statement making the binding (``None`` for parameters) — lets an
+    #: augmenting definition find what reached the name before it.
+    stmt: Optional[ast.stmt] = None
+
+
+def _flatten_targets(target: ast.AST) -> List[ast.AST]:
+    out: List[ast.AST] = []
+    stack = [target]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.Tuple, ast.List)):
+            stack.extend(node.elts)
+        elif isinstance(node, ast.Starred):
+            stack.append(node.value)
+        else:
+            out.append(node)
+    return out
+
+
+def _stmt_definitions(stmt: ast.stmt) -> List[Tuple[str, Tuple[ast.AST, ...],
+                                                    bool, int]]:
+    """``(name, value_exprs, augments, line)`` bindings made by ``stmt``
+    itself (not by statements nested inside compound bodies)."""
+    out: List[Tuple[str, Tuple[ast.AST, ...], bool, int]] = []
+    line = getattr(stmt, "lineno", 0)
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            for leaf in _flatten_targets(target):
+                if isinstance(leaf, ast.Name):
+                    out.append((leaf.id, (stmt.value,), False, line))
+    elif isinstance(stmt, ast.AnnAssign):
+        if isinstance(stmt.target, ast.Name) and stmt.value is not None:
+            out.append((stmt.target.id, (stmt.value,), False, line))
+    elif isinstance(stmt, ast.AugAssign):
+        if isinstance(stmt.target, ast.Name):
+            out.append((stmt.target.id, (stmt.value,), True, line))
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        for leaf in _flatten_targets(stmt.target):
+            if isinstance(leaf, ast.Name):
+                out.append((leaf.id, (stmt.iter,), False, line))
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            if item.optional_vars is None:
+                continue
+            for leaf in _flatten_targets(item.optional_vars):
+                if isinstance(leaf, ast.Name):
+                    out.append((leaf.id, (item.context_expr,), False, line))
+    elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                           ast.ClassDef)):
+        out.append((stmt.name, (), False, line))
+    elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+        for alias in stmt.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            out.append((bound, (), False, line))
+    elif isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+        call = stmt.value
+        if isinstance(call.func, ast.Attribute) \
+                and isinstance(call.func.value, ast.Name) \
+                and call.func.attr in _MUTATOR_METHODS:
+            values = tuple(call.args) + tuple(
+                keyword.value for keyword in call.keywords)
+            if values:
+                out.append((call.func.value.id, values, True, line))
+    # Walrus targets anywhere in the statement's own expressions.
+    for node in _walk_own(stmt):
+        if isinstance(node, ast.NamedExpr) and \
+                isinstance(node.target, ast.Name):
+            out.append((node.target.id, (node.value,), False,
+                        getattr(node, "lineno", line)))
+    return out
+
+
+def _walk_own(stmt: ast.stmt) -> List[ast.AST]:
+    """Expression nodes belonging to ``stmt`` itself: stops at nested
+    statements and nested function/class bodies."""
+    out: List[ast.AST] = []
+    stack: List[ast.AST] = []
+    for child in ast.iter_child_nodes(stmt):
+        if not isinstance(child, ast.stmt):
+            stack.append(child)
+    while stack:
+        node = stack.pop()
+        out.append(node)
+        if isinstance(node, (ast.Lambda,)):
+            continue
+        for child in ast.iter_child_nodes(node):
+            if not isinstance(child, ast.stmt):
+                stack.append(child)
+    return out
+
+
+@dataclass
+class DefUse:
+    """Reaching-definition solution for one function."""
+
+    cfg: CFG
+    definitions: List[Definition] = field(default_factory=list)
+    #: id(Name-load node) -> def_ids reaching it.
+    use_defs: Dict[int, Set[int]] = field(default_factory=dict)
+    #: id(stmt) -> {name: def_ids reaching just before the stmt}.
+    reaching_before: Dict[int, Dict[str, Set[int]]] = field(
+        default_factory=dict)
+
+    @classmethod
+    def build(cls, func: ast.AST, cfg: CFG) -> "DefUse":
+        solver = cls(cfg=cfg)
+        solver._solve(func)
+        return solver
+
+    def defs_of_use(self, name_node: ast.Name) -> List[Definition]:
+        return [self.definitions[d]
+                for d in sorted(self.use_defs.get(id(name_node), ()))]
+
+    def reaching_at(self, stmt: ast.stmt, name: str) -> List[Definition]:
+        table = self.reaching_before.get(id(stmt), {})
+        return [self.definitions[d] for d in sorted(table.get(name, ()))]
+
+    # -- solver -------------------------------------------------------------
+
+    def _new_def(self, name: str, value_exprs: Tuple[ast.AST, ...],
+                 augments: bool, line: int,
+                 param_index: Optional[int] = None,
+                 stmt: Optional[ast.stmt] = None) -> int:
+        def_id = len(self.definitions)
+        self.definitions.append(Definition(
+            def_id=def_id, name=name, value_exprs=value_exprs,
+            augments=augments, param_index=param_index, line=line,
+            stmt=stmt))
+        return def_id
+
+    def _solve(self, func: ast.AST) -> None:
+        cfg = self.cfg
+        # Entry definitions: parameters.
+        entry_defs: Dict[str, Set[int]] = {}
+        args = getattr(func, "args", None)
+        if args is not None:
+            params = list(args.posonlyargs) + list(args.args)
+            extras = [args.vararg] + list(args.kwonlyargs) + [args.kwarg]
+            for index, arg in enumerate(params):
+                entry_defs[arg.arg] = {self._new_def(
+                    arg.arg, (), False, getattr(arg, "lineno", 0),
+                    param_index=index)}
+            for arg in extras:
+                if arg is not None:
+                    entry_defs[arg.arg] = {self._new_def(
+                        arg.arg, (), False, getattr(arg, "lineno", 0))}
+
+        # Per-statement definition records (in block order).
+        stmt_defs: Dict[int, List[int]] = {}
+        for block in cfg.blocks:
+            for stmt in block.stmts:
+                ids = [self._new_def(name, values, augments, line,
+                                     stmt=stmt)
+                       for name, values, augments, line
+                       in _stmt_definitions(stmt)]
+                if ids:
+                    stmt_defs[id(stmt)] = ids
+
+        # Block-level gen/kill fixpoint.
+        defs_by_name: Dict[str, Set[int]] = {}
+        for definition in self.definitions:
+            defs_by_name.setdefault(definition.name, set()).add(
+                definition.def_id)
+
+        def transfer(block_in: Dict[str, Set[int]],
+                     block_id: int) -> Dict[str, Set[int]]:
+            state = {name: set(ids) for name, ids in block_in.items()}
+            for stmt in cfg.blocks[block_id].stmts:
+                for def_id in stmt_defs.get(id(stmt), ()):
+                    definition = self.definitions[def_id]
+                    if definition.augments:
+                        state.setdefault(definition.name, set()).add(def_id)
+                    else:
+                        state[definition.name] = {def_id}
+            return state
+
+        preds = cfg.predecessors()
+        block_in: List[Dict[str, Set[int]]] = [{} for __ in cfg.blocks]
+        block_in[cfg.entry] = entry_defs
+        changed = True
+        while changed:
+            changed = False
+            for block in cfg.blocks:
+                if block.bid == cfg.entry:
+                    merged = entry_defs
+                else:
+                    merged = {}
+                    for pred, __ in preds[block.bid]:
+                        for name, ids in transfer(block_in[pred],
+                                                  pred).items():
+                            merged.setdefault(name, set()).update(ids)
+                if merged != block_in[block.bid]:
+                    block_in[block.bid] = merged
+                    changed = True
+
+        # Resolve individual uses by walking each block in order.
+        for block in cfg.blocks:
+            state = {name: set(ids)
+                     for name, ids in block_in[block.bid].items()}
+            for stmt in block.stmts:
+                self.reaching_before[id(stmt)] = \
+                    {name: set(ids) for name, ids in state.items()}
+                for node in _walk_own(stmt):
+                    if isinstance(node, ast.Name) and \
+                            isinstance(node.ctx, ast.Load):
+                        ids = state.get(node.id)
+                        if ids:
+                            self.use_defs[id(node)] = set(ids)
+                for def_id in stmt_defs.get(id(stmt), ()):
+                    definition = self.definitions[def_id]
+                    if definition.augments:
+                        state.setdefault(definition.name, set()).add(def_id)
+                    else:
+                        state[definition.name] = {def_id}

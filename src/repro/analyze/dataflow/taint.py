@@ -1,0 +1,456 @@
+"""Label-set taint propagation over def-use chains and the call graph.
+
+The engine answers one question for a rule: *can a value read from a
+declared source reach a declared sink?*  Taint is a set of
+:class:`TaintTag` labels attached to expressions:
+
+* a **source** tag records where host-only state was read (file, line,
+  which attribute) plus the interprocedural hops it travelled through;
+* a **param** tag means "tainted iff argument *i* of this function is"
+  — the device that lets one pass per function stand in for full
+  context-sensitive analysis.
+
+Per function, taint flows through assignments flow-sensitively (via
+:class:`~repro.analyze.dataflow.defuse.DefUse` reaching definitions,
+``x += v`` keeping what already reached ``x``).  Across functions it
+flows two ways: **returns** (a function whose return expression is
+tainted taints every call result, with param tags substituted by the
+taint of the matching call argument) and **sink parameters** (a
+function that passes parameter *i* into a sink turns every call site
+passing tainted data in position *i* into a hit).  Both summaries are
+solved to a fixpoint over the call graph with a worklist.
+
+Mode rules:
+
+* calls resolved in the corpus always use summaries;
+* *blessed* calls (``TaintSpec.blessed_calls``, extended per module by
+  a ``SIM_LINT_MODEL_VIEWS`` registry) return clean — the escape hatch
+  for accessors that compute model-architectural answers from host
+  indexes (``backward_path`` returning the modeled search itinerary);
+* pure builtins/container methods (``len``, ``.pop`` ...) pass taint
+  through — ``len(host_index)`` is still host-derived;
+* unresolved calls *launder* taint in normal mode but *propagate* it
+  inside ``@hotpath`` functions — the strictest mode, because hot-path
+  code is exactly where host shortcuts live.
+
+Attribute loads propagate **source** tags of their base expression
+(an element pulled out of a host bucket stays host-derived) but drop
+**param** tags (``self.lsq`` is not "parameter self"), which keeps
+method receivers from poisoning whole classes.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import (Callable, Dict, FrozenSet, Iterable, List, Optional,
+                    Sequence, Set, Tuple)
+
+from repro.analyze.dataflow.callgraph import (CallGraph, FunctionInfo,
+                                              callee_name, own_nodes)
+from repro.analyze.dataflow.defuse import Definition
+from repro.analyze.engine import SourceModule
+
+#: Builtins and container methods whose result derives from their
+#: inputs: they pass taint through rather than laundering it.
+PURE_PASSTHROUGH = frozenset({
+    "len", "max", "min", "sum", "abs", "int", "float", "bool", "round",
+    "sorted", "reversed", "list", "tuple", "set", "frozenset", "dict",
+    "iter", "next", "enumerate", "zip", "map", "filter",
+    "pop", "popleft", "get", "copy", "index", "count",
+})
+
+#: Module-level registry declaring model-view accessors: methods whose
+#: results are model-architectural even though they are computed from
+#: host-side indexes (the sanctioned "charge the model" surface).
+MODEL_VIEW_REGISTRY = "SIM_LINT_MODEL_VIEWS"
+
+#: Cap on recorded interprocedural hops per tag (keeps fixpoints
+#: finite on recursive call chains; deeper provenance adds no signal).
+_MAX_VIA = 3
+
+
+@dataclass(frozen=True)
+class TaintTag:
+    """One taint label: a source read, or a parameter dependency."""
+
+    kind: str                       # "source" | "param"
+    #: source: attribute/call name read.  param: unused.
+    what: str = ""
+    path: str = ""
+    line: int = 0
+    #: param: the parameter index.
+    param: int = -1
+    #: Interprocedural hops (function labels) the tag travelled.
+    via: Tuple[str, ...] = ()
+
+    def hop(self, label: str) -> "TaintTag":
+        if len(self.via) >= _MAX_VIA or label in self.via:
+            return self
+        return TaintTag(kind=self.kind, what=self.what, path=self.path,
+                        line=self.line, param=self.param,
+                        via=self.via + (label,))
+
+
+Taint = FrozenSet[TaintTag]
+_CLEAN: Taint = frozenset()
+
+
+def source_tags(taint: Taint) -> List[TaintTag]:
+    return sorted((tag for tag in taint if tag.kind == "source"),
+                  key=lambda tag: (tag.path, tag.line, tag.what))
+
+
+def param_tags(taint: Taint) -> List[TaintTag]:
+    return [tag for tag in taint if tag.kind == "param"]
+
+
+@dataclass(frozen=True)
+class TaintSpec:
+    """What taints, what blesses, what stays pure."""
+
+    #: attribute name -> human description of the host structure.
+    source_attrs: Dict[str, str]
+    #: call (trailing) name -> description; results are tainted.
+    source_calls: Dict[str, str] = field(default_factory=dict)
+    #: call names whose results are clean (model views).
+    blessed_calls: FrozenSet[str] = frozenset()
+    pure_calls: FrozenSet[str] = PURE_PASSTHROUGH
+
+
+@dataclass
+class SinkSite:
+    """One place tainted data must not reach, inside one function."""
+
+    node: ast.AST                   # anchor for findings (line/col)
+    exprs: Tuple[ast.AST, ...]      # expressions that must stay clean
+    descr: str                      # e.g. "SimStats counter 'x'"
+    rule: str                       # rule id to report under
+
+
+@dataclass
+class TaintHit:
+    """A source tag that reached a sink."""
+
+    module: SourceModule
+    node: ast.AST
+    descr: str
+    rule: str
+    tags: List[TaintTag]
+    #: set when the flow crosses a call boundary into the sink.
+    via_call: Optional[str] = None
+
+
+@dataclass
+class _Summary:
+    ret: Taint = _CLEAN
+    #: param index -> (sink descr, rule) for params flowing to sinks.
+    sink_params: Dict[int, Tuple[str, str]] = field(default_factory=dict)
+
+
+def module_model_views(module: SourceModule) -> Set[str]:
+    """Names declared in a module-level ``SIM_LINT_MODEL_VIEWS``."""
+    declared: Set[str] = set()
+    for stmt in module.tree.body:
+        if not (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1):
+            continue
+        target = stmt.targets[0]
+        if not (isinstance(target, ast.Name)
+                and target.id == MODEL_VIEW_REGISTRY):
+            continue
+        value = stmt.value
+        if isinstance(value, ast.Call):        # frozenset({...})
+            value = value.args[0] if value.args else value
+        if isinstance(value, (ast.Set, ast.List, ast.Tuple)):
+            for element in value.elts:
+                if isinstance(element, ast.Constant) and \
+                        isinstance(element.value, str):
+                    declared.add(element.value)
+    return declared
+
+
+class TaintEngine:
+    """Solves summaries for a spec, then reports sink hits."""
+
+    def __init__(self, graph: CallGraph, spec: TaintSpec,
+                 sink_sites: Callable[[FunctionInfo], List[SinkSite]],
+                 modules: Sequence[SourceModule] = ()) -> None:
+        self.graph = graph
+        self.spec = spec
+        self.sink_sites = sink_sites
+        blessed = set(spec.blessed_calls)
+        for module in modules:
+            blessed |= module_model_views(module)
+        self.blessed: FrozenSet[str] = frozenset(blessed)
+        self.summaries: List[_Summary] = [
+            _Summary() for __ in graph.functions]
+        self._def_taint: Dict[int, Dict[int, Taint]] = {}
+
+    # -- public -------------------------------------------------------------
+
+    def solve(self) -> None:
+        """Fixpoint of return/sink-param summaries with a worklist."""
+        callers: Dict[int, Set[int]] = {
+            info.index: set() for info in self.graph.functions}
+        for info in self.graph.functions:
+            for callee in self.graph.callees_of(info):
+                callers[callee].add(info.index)
+        work = [info.index for info in self.graph.functions]
+        queued = set(work)
+        rounds = 0
+        limit = max(64, 8 * len(self.graph.functions))
+        while work and rounds < limit:
+            rounds += 1
+            index = work.pop()
+            queued.discard(index)
+            info = self.graph.functions[index]
+            new = self._summarise(info)
+            old = self.summaries[index]
+            if new.ret != old.ret or new.sink_params != old.sink_params:
+                self.summaries[index] = new
+                for caller in callers[index]:
+                    if caller not in queued:
+                        queued.add(caller)
+                        work.append(caller)
+
+    def collect_hits(self) -> List[TaintHit]:
+        """One reporting pass after :meth:`solve` converged."""
+        self._def_taint.clear()        # re-solve states against final summaries
+        hits: List[TaintHit] = []
+        for info in self.graph.functions:
+            state = self._function_state(info)
+            for site in self.sink_sites(info):
+                taint: Set[TaintTag] = set()
+                for expr in site.exprs:
+                    taint |= self.expr_taint(expr, info, state)
+                sources = source_tags(frozenset(taint))
+                if sources:
+                    hits.append(TaintHit(
+                        module=info.module, node=site.node,
+                        descr=site.descr, rule=site.rule, tags=sources))
+            hits.extend(self._call_site_hits(info, state))
+        return hits
+
+    # -- per-function analysis ----------------------------------------------
+
+    def _function_state(self, info: FunctionInfo) -> Dict[int, Taint]:
+        cached = self._def_taint.get(info.index)
+        if cached is not None:
+            return cached
+        du = info.defuse()
+        state: Dict[int, Taint] = {}
+        for definition in du.definitions:
+            if definition.param_index is not None:
+                state[definition.def_id] = frozenset(
+                    {TaintTag(kind="param", param=definition.param_index)})
+            else:
+                state[definition.def_id] = _CLEAN
+        for __ in range(6):
+            changed = False
+            for definition in du.definitions:
+                if definition.param_index is not None:
+                    continue
+                taint: Set[TaintTag] = set()
+                for value in definition.value_exprs:
+                    taint |= self.expr_taint(value, info, state)
+                if definition.augments and definition.stmt is not None:
+                    for prior in du.reaching_at(definition.stmt,
+                                                definition.name):
+                        if prior.def_id != definition.def_id:
+                            taint |= state[prior.def_id]
+                frozen = frozenset(taint)
+                if frozen != state[definition.def_id]:
+                    state[definition.def_id] = frozen
+                    changed = True
+            if not changed:
+                break
+        self._def_taint[info.index] = state
+        return state
+
+    def _summarise(self, info: FunctionInfo) -> _Summary:
+        self._def_taint.pop(info.index, None)    # summaries moved: re-solve
+        state = self._function_state(info)
+        ret: Set[TaintTag] = set()
+        for node in own_nodes(info.node):
+            if isinstance(node, ast.Return) and node.value is not None:
+                ret |= self.expr_taint(node.value, info, state)
+        summary = _Summary(ret=frozenset(ret))
+        for site in self.sink_sites(info):
+            taint: Set[TaintTag] = set()
+            for expr in site.exprs:
+                taint |= self.expr_taint(expr, info, state)
+            for tag in param_tags(frozenset(taint)):
+                summary.sink_params.setdefault(
+                    tag.param, (site.descr, site.rule))
+        # Transitive sink params: passing our parameter into a callee's
+        # sink parameter makes it our sink parameter too.
+        for call, callee, index, arg_taint in self._sink_param_flows(info,
+                                                                     state):
+            for tag in param_tags(arg_taint):
+                descr, rule = self.summaries[callee.index].sink_params[index]
+                summary.sink_params.setdefault(
+                    tag.param, (f"{descr} (via {callee.qualname}())", rule))
+        return summary
+
+    # -- expression taint ----------------------------------------------------
+
+    def expr_taint(self, node: ast.AST, info: FunctionInfo,
+                   state: Dict[int, Taint]) -> Taint:
+        spec = self.spec
+        if isinstance(node, ast.Name):
+            if not isinstance(node.ctx, ast.Load):
+                return _CLEAN
+            taint: Set[TaintTag] = set()
+            for definition in info.defuse().defs_of_use(node):
+                taint |= state.get(definition.def_id, _CLEAN)
+            return frozenset(taint)
+        if isinstance(node, ast.Attribute):
+            out: Set[TaintTag] = set()
+            if isinstance(node.ctx, ast.Load) and \
+                    node.attr in spec.source_attrs:
+                out.add(TaintTag(
+                    kind="source", what=node.attr, path=info.module.path,
+                    line=getattr(node, "lineno", 0)))
+            base = self.expr_taint(node.value, info, state)
+            out |= {tag for tag in base if tag.kind == "source"}
+            return frozenset(out)
+        if isinstance(node, ast.Call):
+            return self._call_taint(node, info, state)
+        if isinstance(node, (ast.BinOp,)):
+            return self.expr_taint(node.left, info, state) | \
+                self.expr_taint(node.right, info, state)
+        if isinstance(node, ast.UnaryOp):
+            return self.expr_taint(node.operand, info, state)
+        if isinstance(node, ast.BoolOp):
+            taint = set()
+            for value in node.values:
+                taint |= self.expr_taint(value, info, state)
+            return frozenset(taint)
+        if isinstance(node, ast.Compare):
+            taint = set(self.expr_taint(node.left, info, state))
+            for comparator in node.comparators:
+                taint |= self.expr_taint(comparator, info, state)
+            return frozenset(taint)
+        if isinstance(node, ast.IfExp):
+            return self.expr_taint(node.body, info, state) | \
+                self.expr_taint(node.orelse, info, state)
+        if isinstance(node, ast.Subscript):
+            return self.expr_taint(node.value, info, state)
+        if isinstance(node, ast.Starred):
+            return self.expr_taint(node.value, info, state)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            taint = set()
+            for element in node.elts:
+                taint |= self.expr_taint(element, info, state)
+            return frozenset(taint)
+        if isinstance(node, ast.Dict):
+            taint = set()
+            for value in node.values:
+                if value is not None:
+                    taint |= self.expr_taint(value, info, state)
+            return frozenset(taint)
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                             ast.GeneratorExp)):
+            taint = set()
+            for generator in node.generators:
+                taint |= self.expr_taint(generator.iter, info, state)
+            return frozenset(taint)
+        if isinstance(node, ast.NamedExpr):
+            return self.expr_taint(node.value, info, state)
+        if isinstance(node, ast.JoinedStr):
+            taint = set()
+            for value in node.values:
+                if isinstance(value, ast.FormattedValue):
+                    taint |= self.expr_taint(value.value, info, state)
+            return frozenset(taint)
+        return _CLEAN
+
+    def _call_taint(self, node: ast.Call, info: FunctionInfo,
+                    state: Dict[int, Taint]) -> Taint:
+        name = callee_name(node)
+        if name is None:
+            return _CLEAN
+        if name in self.blessed:
+            return _CLEAN
+        out: Set[TaintTag] = set()
+        if name in self.spec.source_calls:
+            out.add(TaintTag(kind="source", what=f"{name}()",
+                             path=info.module.path,
+                             line=getattr(node, "lineno", 0)))
+        callees = self.graph.resolve_call(node)
+        for callee in callees:
+            for tag in self.summaries[callee.index].ret:
+                if tag.kind == "source":
+                    out.add(tag.hop(callee.label))
+                else:
+                    arg = self._argument_for(callee, node, tag.param)
+                    if arg is not None:
+                        for sub in self.expr_taint(arg, info, state):
+                            if sub.kind == "source":
+                                out.add(sub.hop(callee.label))
+                            else:
+                                out.add(sub)
+        passthrough = name in self.spec.pure_calls or \
+            (not callees and info.hotpath)
+        if passthrough:
+            for arg in node.args:
+                out |= self.expr_taint(arg, info, state)
+            for keyword in node.keywords:
+                out |= self.expr_taint(keyword.value, info, state)
+            if isinstance(node.func, ast.Attribute):
+                out |= self.expr_taint(node.func.value, info, state)
+        return frozenset(out)
+
+    def _argument_for(self, callee: FunctionInfo, call: ast.Call,
+                      param: int) -> Optional[ast.AST]:
+        """The call-site expression feeding ``callee``'s ``param``."""
+        args_node = getattr(callee.node, "args", None)
+        if args_node is None:
+            return None
+        params = [a.arg for a in list(args_node.posonlyargs)
+                  + list(args_node.args)]
+        offset = 0
+        if callee.class_name is not None and \
+                isinstance(call.func, ast.Attribute):
+            if param == 0:
+                return call.func.value      # the receiver is `self`
+            offset = 1
+        position = param - offset
+        if 0 <= position < len(call.args):
+            return call.args[position]
+        if 0 <= param < len(params):
+            wanted = params[param]
+            for keyword in call.keywords:
+                if keyword.arg == wanted:
+                    return keyword.value
+        return None
+
+    def _sink_param_flows(self, info: FunctionInfo,
+                          state: Dict[int, Taint]
+                          ) -> Iterable[Tuple[ast.Call, FunctionInfo, int,
+                                              Taint]]:
+        """Call sites passing data into a callee's sink parameter."""
+        for call in info.calls():
+            for callee in self.graph.resolve_call(call):
+                sink_params = self.summaries[callee.index].sink_params
+                for index in sink_params:
+                    arg = self._argument_for(callee, call, index)
+                    if arg is None:
+                        continue
+                    taint = self.expr_taint(arg, info, state)
+                    if taint:
+                        yield call, callee, index, taint
+
+    def _call_site_hits(self, info: FunctionInfo,
+                        state: Dict[int, Taint]) -> List[TaintHit]:
+        hits: List[TaintHit] = []
+        for call, callee, index, taint in self._sink_param_flows(info,
+                                                                 state):
+            sources = source_tags(taint)
+            if not sources:
+                continue
+            descr, rule = self.summaries[callee.index].sink_params[index]
+            hits.append(TaintHit(
+                module=info.module, node=call, descr=descr, rule=rule,
+                tags=sources, via_call=callee.qualname))
+        return hits

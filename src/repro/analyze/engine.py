@@ -88,14 +88,36 @@ class SourceModule:
 
 
 class Analysis:
-    """The full corpus under analysis plus rule orchestration."""
+    """The full corpus under analysis plus rule orchestration.
 
-    def __init__(self, modules: Sequence[SourceModule]) -> None:
+    ``partial=True`` declares that ``modules`` is a *slice* of the real
+    corpus (``--changed-only``).  Whole-program rule families whose
+    soundness depends on seeing everything — counter accounting
+    (SIM-C) and cache-key completeness (SIM-K) — are skipped in
+    partial runs rather than reporting false positives on the slice;
+    flow rules (SIM-T) still run but can only see flows within the
+    slice.
+    """
+
+    def __init__(self, modules: Sequence[SourceModule],
+                 partial: bool = False) -> None:
         self.modules = list(modules)
+        self.partial = partial
+        self._callgraph: Optional[object] = None
+
+    def callgraph(self) -> "CallGraph":  # noqa: F821 (lazy import below)
+        """The shared name-resolved call graph (built once per run)."""
+        if self._callgraph is None:
+            # Imported lazily: the dataflow package imports SourceModule
+            # from this module.
+            from repro.analyze.dataflow.callgraph import CallGraph
+            self._callgraph = CallGraph(self.modules)
+        return self._callgraph  # type: ignore[return-value]
 
     @classmethod
     def from_paths(cls, paths: Sequence[str],
-                   root: Optional[str] = None) -> "Analysis":
+                   root: Optional[str] = None,
+                   partial: bool = False) -> "Analysis":
         root = root or os.getcwd()
         files: List[str] = []
         for path in paths:
@@ -113,28 +135,69 @@ class Analysis:
             if display.startswith("../"):
                 display = file_path.replace(os.sep, "/")
             modules.append(SourceModule.load(file_path, display))
-        return cls(modules)
+        return cls(modules, partial=partial)
 
-    def run(self) -> List[Finding]:
-        """Run every rule family; return unsuppressed findings sorted."""
-        from repro.analyze import (rules_counters, rules_determinism,
-                                   rules_hotpath, rules_mutation,
-                                   rules_ports)
+    def run(self, select: Optional[Set[str]] = None) -> List[Finding]:
+        """Run every rule family; return unsuppressed findings sorted.
+
+        ``select`` restricts output to the given rule ids (validated by
+        the runner against the catalog before it reaches here).
+        """
+        from repro.analyze import (rules_cachekey, rules_counters,
+                                   rules_determinism, rules_hotpath,
+                                   rules_mutation, rules_obs, rules_ports,
+                                   rules_taint)
+        corpus_keyed = {rules_counters, rules_cachekey}
         findings: List[Finding] = []
         for rule_module in (rules_determinism, rules_mutation,
-                            rules_counters, rules_ports, rules_hotpath):
+                            rules_counters, rules_ports, rules_hotpath,
+                            rules_taint, rules_cachekey, rules_obs):
+            if self.partial and rule_module in corpus_keyed:
+                continue
             findings.extend(rule_module.check(self))
         by_path = {module.path: module for module in self.modules}
         kept = [finding for finding in findings
                 if not by_path[finding.path].suppressed(finding)]
+        if select is not None:
+            kept = [finding for finding in kept if finding.rule in select]
         kept.sort(key=lambda f: (f.path, f.line, f.column, f.rule))
         return kept
 
+    def unknown_suppressions(self) -> List[Finding]:
+        """Suppression comments naming rule ids the catalog does not
+        know — each one is a typo silently disabling nothing."""
+        from repro.analyze.catalog import RULE_CATALOG
+        out: List[Finding] = []
+        for module in self.modules:
+            for line in sorted(module.suppressions):
+                for rule in sorted(module.suppressions[line]):
+                    if rule not in RULE_CATALOG:
+                        out.append(Finding(
+                            rule="SIM-LINT", path=module.path, line=line,
+                            column=0,
+                            message=(f"suppression names unknown rule "
+                                     f"'{rule}'"),
+                            fixit=_nearest_rule_hint(rule)))
+        return out
+
+
+def _nearest_rule_hint(rule: str) -> str:
+    """A did-you-mean for an unknown rule id, by edit similarity."""
+    from repro.analyze.catalog import RULE_CATALOG
+    import difflib
+    close = difflib.get_close_matches(rule, RULE_CATALOG, n=1, cutoff=0.4)
+    if close:
+        return f"did you mean '{close[0]}'?"
+    return "see repro lint --list-rules for valid ids"
+
 
 def analyze_paths(paths: Sequence[str],
-                  root: Optional[str] = None) -> List[Finding]:
+                  root: Optional[str] = None,
+                  select: Optional[Set[str]] = None,
+                  partial: bool = False) -> List[Finding]:
     """Convenience wrapper: parse ``paths`` and run every rule."""
-    return Analysis.from_paths(paths, root=root).run()
+    return Analysis.from_paths(paths, root=root, partial=partial).run(
+        select=select)
 
 
 # -- shared AST helpers ----------------------------------------------------

@@ -1,0 +1,174 @@
+"""SIM-K: cache-key completeness — what the sim path reads, the
+digest must hash.
+
+The sweep cache (PR 3) is content-addressed: :meth:`Cell.digest`
+hashes a canonical JSON payload and a result is served for any later
+cell with the same digest.  The failure mode is silent and severe: a
+``Cell`` field that *influences simulation* but is *missing from the
+payload* makes two different experiments collide on one cache entry —
+stale results with no error anywhere.
+
+``SIM-K001`` — a ``Cell`` field is read by code reachable from the
+    simulation entry points (``simulate`` / ``run_cell`` /
+    ``run_cells``) but does not appear in the digest payload.
+
+Mechanics: the payload set is recovered from ``Cell.digest`` itself
+(every ``self.X`` read inside it); reachability comes from the
+name-resolved call graph (:mod:`repro.analyze.dataflow.callgraph`),
+which over-approximates — a read is never missed, though display-only
+helpers sharing a method name with sim-path code may be pulled in.
+``Cell``-typed receivers are recognised by name (``cell``,
+``*.cell``), by annotation (a parameter annotated ``Cell``), and by
+``self`` inside ``Cell`` methods.
+
+Nested config objects are covered wholesale: once ``machine`` and
+``obs`` are in the payload, ``_canonical`` serialises every dataclass
+field underneath them, so only *top-level* ``Cell`` fields need
+tracking here.
+
+Deliberately key-free fields (the human-readable ``label``) are
+declared next to ``Cell`` in a ``SIM_LINT_CACHE_KEY_EXEMPT`` registry
+— the exemption then lives in the reviewed source, beside the
+docstring that justifies it, instead of in a lint baseline.
+
+Scope: reads are reported in ``harness``/``core``/``pipeline``/
+``memory`` modules; report/CLI code is display-only by construction
+and reads ``label`` legitimately.  This rule needs the whole corpus to
+be sound and is disabled in ``--changed-only`` partial runs.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set, Tuple
+
+from repro.analyze.catalog import RULE_CATALOG
+from repro.analyze.dataflow.callgraph import CallGraph, FunctionInfo, \
+    own_nodes
+from repro.analyze.dataflow.cfg import canonical_expr
+from repro.analyze.engine import Analysis, SourceModule
+from repro.analyze.findings import Finding
+
+ENTRY_NAMES = ("simulate", "run_cell", "run_cells")
+EXEMPT_REGISTRY = "SIM_LINT_CACHE_KEY_EXEMPT"
+REPORTED_SCOPES = ("harness", "core", "pipeline", "memory")
+
+
+def _cell_class(analysis: Analysis) -> Optional[Tuple[SourceModule,
+                                                      ast.ClassDef]]:
+    for module in analysis.modules:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef) and node.name == "Cell":
+                if any(isinstance(item, ast.FunctionDef)
+                       and item.name == "digest" for item in node.body):
+                    return module, node
+    return None
+
+
+def _cell_fields(cell: ast.ClassDef) -> List[str]:
+    return [item.target.id for item in cell.body
+            if isinstance(item, ast.AnnAssign)
+            and isinstance(item.target, ast.Name)]
+
+
+def _payload_fields(cell: ast.ClassDef) -> Set[str]:
+    """Every ``self.X`` read inside ``Cell.digest``."""
+    out: Set[str] = set()
+    for item in cell.body:
+        if isinstance(item, ast.FunctionDef) and item.name == "digest":
+            for node in ast.walk(item):
+                if isinstance(node, ast.Attribute) \
+                        and isinstance(node.value, ast.Name) \
+                        and node.value.id == "self":
+                    out.add(node.attr)
+    return out
+
+
+def _exempt_fields(module: SourceModule) -> Set[str]:
+    """Module-level ``SIM_LINT_CACHE_KEY_EXEMPT = frozenset({...})``."""
+    out: Set[str] = set()
+    for stmt in module.tree.body:
+        if not isinstance(stmt, ast.Assign):
+            continue
+        if not any(isinstance(target, ast.Name)
+                   and target.id == EXEMPT_REGISTRY
+                   for target in stmt.targets):
+            continue
+        for node in ast.walk(stmt.value):
+            if isinstance(node, ast.Constant) \
+                    and isinstance(node.value, str):
+                out.add(node.value)
+    return out
+
+
+def _annotated_cell_params(info: FunctionInfo) -> Set[str]:
+    args = getattr(info.node, "args", None)
+    if args is None:
+        return set()
+    out: Set[str] = set()
+    params = list(args.posonlyargs) + list(args.args) \
+        + list(args.kwonlyargs)
+    for arg in params:
+        if arg.annotation is None:
+            continue
+        for node in ast.walk(arg.annotation):
+            if isinstance(node, ast.Name) and node.id == "Cell":
+                out.add(arg.arg)
+            elif isinstance(node, ast.Constant) and node.value == "Cell":
+                out.add(arg.arg)
+    return out
+
+
+def _is_cell_receiver(base: ast.AST, info: FunctionInfo,
+                      cell_params: Set[str]) -> bool:
+    path = canonical_expr(base)
+    if path is None:
+        return False
+    if path == "self":
+        return info.class_name == "Cell"
+    if path in cell_params:
+        return True
+    return path.split(".")[-1] == "cell"
+
+
+def check(analysis: Analysis) -> List[Finding]:
+    if analysis.partial:
+        return []               # needs the whole corpus to be sound
+    located = _cell_class(analysis)
+    if located is None:
+        return []
+    cell_module, cell = located
+    fields = set(_cell_fields(cell))
+    payload = _payload_fields(cell)
+    exempt = _exempt_fields(cell_module)
+    unkeyed = fields - payload - exempt
+    if not unkeyed:
+        return []
+
+    graph = analysis.callgraph()
+    findings: List[Finding] = []
+    for index in sorted(graph.reachable_from(ENTRY_NAMES)):
+        info = graph.functions[index]
+        if not info.module.in_scope(*REPORTED_SCOPES):
+            continue
+        if info.class_name == "Cell" and info.name == "digest":
+            continue
+        cell_params = _annotated_cell_params(info)
+        for node in own_nodes(info.node):
+            if not isinstance(node, ast.Attribute):
+                continue
+            if not isinstance(node.ctx, ast.Load):
+                continue
+            if node.attr not in unkeyed:
+                continue
+            if not _is_cell_receiver(node.value, info, cell_params):
+                continue
+            findings.append(Finding(
+                rule="SIM-K001", path=info.module.path,
+                line=getattr(node, "lineno", 1),
+                column=getattr(node, "col_offset", 0),
+                message=(f"Cell field '{node.attr}' is read on the "
+                         f"simulation path ({info.qualname}) but is "
+                         f"missing from the cache-key digest payload"),
+                fixit=RULE_CATALOG["SIM-K001"].fixit))
+    return findings

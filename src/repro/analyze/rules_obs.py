@@ -1,0 +1,180 @@
+"""SIM-O: observability purity — zero cost when detached.
+
+The repro.obs contract (PR 4) is that instrumentation is *free when
+off*: a simulation constructed without an observer must execute the
+exact same work as an instrumented one minus the emissions.  Two ways
+code drifts from that:
+
+``SIM-O001`` — an emission call on an observer handle
+    (``self.obs.emit(...)``, ``obs.on_issue(...)``) that is not
+    dominated by a ``... is not None`` guard on that exact handle.
+    Detached components hold ``obs = None``, so an unguarded emission
+    is a latent ``AttributeError`` on every un-instrumented run — the
+    common path.
+
+``SIM-O002`` — an emission argument that is not side-effect free: a
+    call outside the pure whitelist (``len``/``max``/arithmetic-style
+    builtins), a walrus, an await/yield.  Arguments are evaluated even
+    when the observer drops the event, and a side-effecting argument
+    makes model behaviour depend on whether tracing is attached —
+    exactly the divergence the golden-digest parity tests exist to
+    catch.
+
+Guard recognition uses the CFG guard-fact must-analysis
+(:mod:`repro.analyze.dataflow.cfg`): ``if self.obs is not None:``
+blocks, the hot-path alias form ``obs = self.obs`` / ``if obs is not
+None:``, conditional expressions (``x.summary() if x is not None else
+None``) and ``and`` short-circuits all count.  A handle bound directly
+to a constructor call (``observer = Observer(cfg)``) is provably
+non-null and needs no guard.  The ``repro/obs`` package itself is out
+of scope — inside the observer, the handle is ``self``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, List, Optional, Set, Tuple
+
+from repro.analyze.catalog import RULE_CATALOG
+from repro.analyze.dataflow.callgraph import callee_name, own_nodes
+from repro.analyze.dataflow.cfg import build_cfg, canonical_expr, test_facts
+from repro.analyze.dataflow.defuse import DefUse
+from repro.analyze.engine import Analysis, SourceModule, functions_of
+from repro.analyze.findings import Finding
+
+#: Trailing names that mark an observer handle.
+OBSERVER_NAMES = frozenset({"obs", "observer"})
+
+#: Calls allowed inside emission arguments (read-only builtins).
+PURE_ARG_CALLS = frozenset({
+    "len", "min", "max", "abs", "sum", "round", "int", "float", "str",
+    "bool", "repr", "format", "hex", "oct", "bin", "id", "hash",
+    "tuple", "list", "dict", "sorted", "getattr", "isinstance",
+})
+
+
+def _finding(rule: str, module: SourceModule, node: ast.AST,
+             message: str) -> Finding:
+    return Finding(rule=rule, path=module.path,
+                   line=getattr(node, "lineno", 1),
+                   column=getattr(node, "col_offset", 0),
+                   message=message, fixit=RULE_CATALOG[rule].fixit)
+
+
+def _emission_receiver(call: ast.Call) -> Optional[str]:
+    """Canonical observer path when ``call`` is an emission, else None."""
+    func = call.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    path = canonical_expr(func.value)
+    if path is None:
+        return None
+    if path.split(".")[-1] in OBSERVER_NAMES:
+        return path
+    return None
+
+
+def _constructor_bound(path: str, receiver: ast.AST,
+                       defuse: DefUse) -> bool:
+    """True when a bare-name handle is only ever bound to a direct
+    constructor call (``obs = Observer(...)``) — provably non-null."""
+    if "." in path or not isinstance(receiver, ast.Name):
+        return False
+    defs = defuse.defs_of_use(receiver)
+    if not defs:
+        return False
+    for definition in defs:
+        if len(definition.value_exprs) != 1:
+            return False
+        value = definition.value_exprs[0]
+        if not isinstance(value, ast.Call):
+            return False
+        name = callee_name(value)
+        if name is None or not name[:1].isupper():
+            return False
+    return True
+
+
+def _expression_guards(module: SourceModule,
+                       call: ast.Call) -> Tuple[FrozenSet[str],
+                                                Optional[ast.stmt]]:
+    """Facts asserted by conditional *expressions* enclosing ``call``
+    (IfExp arms, ``and`` short-circuits), plus the enclosing statement."""
+    facts: Set[str] = set()
+    node: ast.AST = call
+    parent = module.parent(node)
+    while parent is not None and not isinstance(node, ast.stmt):
+        if isinstance(parent, ast.IfExp):
+            if node is parent.body:
+                facts |= test_facts(parent.test)[0]
+            elif node is parent.orelse:
+                facts |= test_facts(parent.test)[1]
+        elif isinstance(parent, ast.BoolOp) and \
+                isinstance(parent.op, ast.And):
+            for index, value in enumerate(parent.values):
+                if value is node:
+                    for prior in parent.values[:index]:
+                        facts |= test_facts(prior)[0]
+                    break
+        node, parent = parent, module.parent(parent)
+    stmt = node if isinstance(node, ast.stmt) else None
+    return frozenset(facts), stmt
+
+
+def _impure_argument(call: ast.Call) -> Optional[Tuple[ast.AST, str]]:
+    """First impure expression among the emission's arguments."""
+    exprs = list(call.args) + [keyword.value for keyword in call.keywords]
+    for expr in exprs:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                name = callee_name(node)
+                if name is None or name not in PURE_ARG_CALLS:
+                    shown = name + "()" if name else "call"
+                    return node, f"impure call '{shown}'"
+            elif isinstance(node, ast.NamedExpr):
+                return node, "walrus assignment"
+            elif isinstance(node, (ast.Await, ast.Yield, ast.YieldFrom)):
+                return node, "await/yield"
+    return None
+
+
+def check(analysis: Analysis) -> List[Finding]:
+    findings: List[Finding] = []
+    for module in analysis.modules:
+        if module.in_scope("obs"):
+            continue            # inside the observer, the handle is self
+        for func in functions_of(module.tree):
+            cfg = None
+            defuse = None
+            for node in own_nodes(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                path = _emission_receiver(node)
+                if path is None:
+                    continue
+                if cfg is None:
+                    cfg = build_cfg(func)
+                    defuse = DefUse.build(func, cfg)
+                assert defuse is not None
+                method = node.func.attr \
+                    if isinstance(node.func, ast.Attribute) else "?"
+                expr_facts, stmt = _expression_guards(module, node)
+                facts: Set[str] = set(expr_facts)
+                if stmt is not None:
+                    facts |= cfg.guard_facts_at(stmt)
+                guarded = f"nonnull:{path}" in facts or \
+                    _constructor_bound(path, node.func.value, defuse)
+                if not guarded:
+                    findings.append(_finding(
+                        "SIM-O001", module, node,
+                        f"emission '{method}()' on '{path}' is not "
+                        f"dominated by an 'if {path} is not None' "
+                        f"guard"))
+                impure = _impure_argument(node)
+                if impure is not None:
+                    where, why = impure
+                    findings.append(_finding(
+                        "SIM-O002", module, where,
+                        f"argument of emission '{method}()' on "
+                        f"'{path}' has a side effect risk: {why}"))
+    return findings

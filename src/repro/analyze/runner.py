@@ -4,15 +4,16 @@ repro.analyze``."""
 from __future__ import annotations
 
 import argparse
+import difflib
 import json
 import os
 import sys
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Set
 
 from repro.analyze.baseline import (load_baseline, split_by_baseline,
-                                    write_baseline)
+                                    stale_entries, write_baseline)
 from repro.analyze.catalog import RULE_CATALOG
-from repro.analyze.engine import analyze_paths
+from repro.analyze.engine import Analysis
 
 
 def default_target() -> str:
@@ -37,14 +38,31 @@ def build_parser(parser: Optional[argparse.ArgumentParser] = None,
         "--write-baseline", metavar="FILE",
         help="record current findings as the accepted baseline and exit 0")
     parser.add_argument(
+        "--select", metavar="RULES",
+        help="comma-separated rule ids or family prefixes to run "
+             "(e.g. SIM-T001,SIM-O); unknown ids are an error")
+    parser.add_argument(
         "--json", action="store_true", dest="as_json",
         help="emit findings as a JSON array instead of text")
+    parser.add_argument(
+        "--sarif", metavar="FILE",
+        help="also write findings as a SARIF 2.1.0 document "
+             "(GitHub code-scanning format)")
+    parser.add_argument(
+        "--partial", action="store_true",
+        help="PATHS are a slice of the corpus, not all of it: skip "
+             "whole-corpus rule families (SIM-C counter accounting, "
+             "SIM-K cache-key completeness) whose verdicts need every "
+             "module to be sound")
     parser.add_argument(
         "--no-fixit", action="store_true",
         help="omit fix-it hints from text output")
     parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalog and exit")
+    parser.add_argument(
+        "--explain", metavar="RULE",
+        help="print one rule's catalog entry (title/why/fix) and exit")
     return parser
 
 
@@ -60,15 +78,71 @@ def _print_catalog() -> None:
         print(f"           fix: {info.fixit}")
 
 
+def _unknown_rule_error(token: str, context: str) -> str:
+    close = difflib.get_close_matches(token, RULE_CATALOG, n=1, cutoff=0.4)
+    hint = f" (did you mean '{close[0]}'?)" if close else \
+        " (see repro lint --list-rules)"
+    return f"repro lint: unknown rule '{token}' in {context}{hint}"
+
+
+def resolve_select(spec: str) -> Set[str]:
+    """Expand a ``--select`` spec to concrete rule ids.
+
+    Each comma-separated token must be an exact catalog id or a prefix
+    matching at least one id (``SIM-T`` selects the family).  An
+    unknown token raises ``ValueError`` — silently running zero rules
+    is how a typo turns a gate into a no-op.
+    """
+    selected: Set[str] = set()
+    for token in (part.strip() for part in spec.split(",")):
+        if not token:
+            continue
+        if token in RULE_CATALOG:
+            selected.add(token)
+            continue
+        matches = {rule_id for rule_id in RULE_CATALOG
+                   if rule_id.startswith(token)}
+        if not matches:
+            raise ValueError(_unknown_rule_error(token, "--select"))
+        selected |= matches
+    if not selected:
+        raise ValueError("repro lint: --select selected no rules")
+    return selected
+
+
 def run_lint(argv: Optional[Sequence[str]] = None,
              namespace: Optional[argparse.Namespace] = None) -> int:
-    """Run the analyzer; returns the process exit code (0 = clean)."""
+    """Run the analyzer; returns the process exit code.
+
+    0 = clean, 1 = findings, 2 = usage/configuration error (bad path,
+    unknown rule id in ``--select`` or a suppression comment).
+    """
     args = namespace if namespace is not None else \
         build_parser().parse_args(list(argv) if argv is not None else None)
 
     if args.list_rules:
         _print_catalog()
         return 0
+    if getattr(args, "explain", None):
+        rule_id = args.explain
+        info = RULE_CATALOG.get(rule_id)
+        if info is None:
+            print(_unknown_rule_error(rule_id, "--explain"),
+                  file=sys.stderr)
+            return 2
+        print(f"{rule_id} [{info.family}]")
+        print(f"  {info.title}")
+        print(f"  why: {info.rationale}")
+        print(f"  fix: {info.fixit}")
+        return 0
+
+    select: Optional[Set[str]] = None
+    if getattr(args, "select", None):
+        try:
+            select = resolve_select(args.select)
+        except ValueError as error:
+            print(error, file=sys.stderr)
+            return 2
 
     paths: List[str] = list(args.paths) or [default_target()]
     for path in paths:
@@ -76,7 +150,19 @@ def run_lint(argv: Optional[Sequence[str]] = None,
             print(f"repro lint: no such path: {path}", file=sys.stderr)
             return 2
 
-    findings = analyze_paths(paths)
+    analysis = Analysis.from_paths(
+        paths, partial=bool(getattr(args, "partial", False)))
+
+    bad_suppressions = analysis.unknown_suppressions()
+    if bad_suppressions:
+        for finding in bad_suppressions:
+            print(_unknown_rule_error(
+                finding.message.split("'")[1],
+                f"suppression at {finding.path}:{finding.line}"),
+                file=sys.stderr)
+        return 2
+
+    findings = analysis.run(select=select)
 
     if args.write_baseline:
         write_baseline(args.write_baseline, findings)
@@ -85,10 +171,16 @@ def run_lint(argv: Optional[Sequence[str]] = None,
         return 0
 
     baselined_count = 0
+    stale: List[str] = []
     if args.baseline:
         baseline = load_baseline(args.baseline)
+        stale = stale_entries(findings, baseline)
         findings, baselined = split_by_baseline(findings, baseline)
         baselined_count = len(baselined)
+
+    if getattr(args, "sarif", None):
+        from repro.analyze.sarif import write_sarif
+        write_sarif(args.sarif, findings)
 
     if args.as_json:
         print(json.dumps([{
@@ -101,5 +193,13 @@ def run_lint(argv: Optional[Sequence[str]] = None,
         summary = f"{len(findings)} finding(s)"
         if baselined_count:
             summary += f" ({baselined_count} baselined, not shown)"
+        if getattr(args, "partial", False):
+            summary += " [partial: corpus-keyed families skipped]"
         print(summary)
+        for key in stale:
+            print(f"stale baseline entry (no longer triggered): {key}")
+        if stale:
+            print(f"{len(stale)} stale baseline entr"
+                  f"{'y' if len(stale) == 1 else 'ies'}; rewrite with "
+                  f"--write-baseline")
     return 1 if findings else 0

@@ -1,0 +1,97 @@
+"""SARIF 2.1.0 export for sim-lint findings.
+
+SARIF (Static Analysis Results Interchange Format) is the OASIS
+standard GitHub code scanning ingests: uploading ``repro lint --sarif``
+output from CI annotates PRs with findings inline, rule metadata and
+fix-it text included.  Only the stable core of the format is emitted —
+one run, one driver, one result per finding, physical locations with
+line/column regions — which every SARIF consumer understands.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.analyze.catalog import RULE_CATALOG
+from repro.analyze.findings import Finding
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/"
+                "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+TOOL_NAME = "sim-lint"
+TOOL_URI = "docs/STATIC_ANALYSIS.md"
+
+
+def _rule_entries(rule_ids: Sequence[str]) -> List[Dict[str, object]]:
+    entries: List[Dict[str, object]] = []
+    for rule_id in rule_ids:
+        info = RULE_CATALOG[rule_id]
+        entries.append({
+            "id": rule_id,
+            "name": rule_id.replace("-", ""),
+            "shortDescription": {"text": info.title},
+            "fullDescription": {"text": info.rationale},
+            "help": {"text": f"fix: {info.fixit}"},
+            "properties": {"family": info.family},
+            "defaultConfiguration": {"level": "warning"},
+        })
+    return entries
+
+
+def sarif_document(findings: Sequence[Finding]) -> Dict[str, object]:
+    """The SARIF run document for one lint invocation."""
+    rule_ids = sorted({finding.rule for finding in findings}
+                      & set(RULE_CATALOG))
+    rule_index = {rule_id: index for index, rule_id
+                  in enumerate(rule_ids)}
+    results: List[Dict[str, object]] = []
+    for finding in findings:
+        result: Dict[str, object] = {
+            "ruleId": finding.rule,
+            "level": "warning",
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": max(finding.column + 1, 1),
+                    },
+                },
+            }],
+            "partialFingerprints": {
+                "simLint/v1": finding.fingerprint(),
+            },
+        }
+        if finding.rule in rule_index:
+            result["ruleIndex"] = rule_index[finding.rule]
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": TOOL_NAME,
+                    "informationUri": TOOL_URI,
+                    "rules": _rule_entries(rule_ids),
+                },
+            },
+            "originalUriBaseIds": {
+                "SRCROOT": {"description": {
+                    "text": "repository root"}},
+            },
+            "results": results,
+        }],
+    }
+
+
+def write_sarif(path: str, findings: Sequence[Finding]) -> None:
+    document = sarif_document(findings)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -52,6 +52,17 @@ if TYPE_CHECKING:
 #: only overlap in bytes if they touch a common 8-byte granule.
 GRANULE_SHIFT = 3
 
+#: sim-lint (SIM-T) blessing: these accessors *compute* the modeled
+#: search itinerary from the host-side indexes above — their results
+#: are model-architectural answers ("which segments does the paper's
+#: pipelined search visit, in what order") and are the sanctioned
+#: inputs for segment/port charges and search-length statistics.
+#: Everything else derived from ``_order``/``_seg_seqs``/``_granules``
+#: stays host-only and must not price the model.
+SIM_LINT_MODEL_VIEWS = frozenset({
+    "backward_path", "forward_path", "backward_plan", "forward_plan",
+})
+
 
 class SegmentedQueue:
     """One side of the LSQ: program-ordered entries in segments."""

@@ -1,0 +1,437 @@
+"""Unit tests for the whole-program dataflow layer (``repro.analyze.
+dataflow``): CFG guard facts, reaching definitions, the name-resolved
+call graph, and the label-set taint engine."""
+
+import ast
+import textwrap
+
+from repro.analyze.dataflow.callgraph import CallGraph, is_hotpath, own_nodes
+from repro.analyze.dataflow.cfg import build_cfg, canonical_expr
+from repro.analyze.dataflow.cfg import test_facts as condition_facts
+from repro.analyze.dataflow.defuse import DefUse
+from repro.analyze.dataflow.taint import (SinkSite, TaintEngine, TaintSpec,
+                                          source_tags)
+from repro.analyze.engine import SourceModule
+
+
+def parse_module(source, path="mod.py"):
+    text = textwrap.dedent(source)
+    module = SourceModule(path=path, text=text, tree=ast.parse(text))
+    module._index()
+    return module
+
+
+def func_named(module, name):
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.FunctionDef) and node.name == name:
+            return node
+    raise AssertionError(f"no function {name}")
+
+
+def stmt_at(func, line):
+    for node in ast.walk(func):
+        if isinstance(node, ast.stmt) and getattr(node, "lineno", 0) == line:
+            return node
+    raise AssertionError(f"no statement at line {line}")
+
+
+# ---------------------------------------------------------------------------
+# CFG: structure and guard facts
+# ---------------------------------------------------------------------------
+
+class TestCanonicalExpr:
+    def test_dotted_chain(self):
+        node = ast.parse("self.obs.bus", mode="eval").body
+        assert canonical_expr(node) == "self.obs.bus"
+
+    def test_non_chain_is_none(self):
+        node = ast.parse("f().x", mode="eval").body
+        assert canonical_expr(node) is None
+
+
+class TestTestFacts:
+    def test_is_not_none(self):
+        test = ast.parse("x is not None", mode="eval").body
+        on_true, on_false = condition_facts(test)
+        assert on_true == {"nonnull:x"} and on_false == frozenset()
+
+    def test_is_none_asserts_on_false(self):
+        test = ast.parse("self.obs is None", mode="eval").body
+        on_true, on_false = condition_facts(test)
+        assert on_true == frozenset() and on_false == {"nonnull:self.obs"}
+
+    def test_and_chain_unions_true_facts(self):
+        test = ast.parse("a is not None and b", mode="eval").body
+        on_true, __ = condition_facts(test)
+        assert on_true == {"nonnull:a", "nonnull:b"}
+
+    def test_not_swaps(self):
+        test = ast.parse("not (x is None)", mode="eval").body
+        on_true, __ = condition_facts(test)
+        assert on_true == {"nonnull:x"}
+
+
+class TestGuardFacts:
+    def test_fact_holds_inside_guard(self):
+        module = parse_module("""
+            def f(self):
+                if self.obs is not None:
+                    self.obs.emit("e")
+                self.tail()
+        """)
+        func = func_named(module, "f")
+        cfg = build_cfg(func)
+        inside = stmt_at(func, 4)
+        after = stmt_at(func, 5)
+        assert "nonnull:self.obs" in cfg.guard_facts_at(inside)
+        assert "nonnull:self.obs" not in cfg.guard_facts_at(after)
+
+    def test_alias_guard_pattern(self):
+        module = parse_module("""
+            def f(self):
+                obs = self.obs
+                if obs is not None:
+                    obs.emit("e")
+        """)
+        func = func_named(module, "f")
+        cfg = build_cfg(func)
+        assert "nonnull:obs" in cfg.guard_facts_at(stmt_at(func, 5))
+
+    def test_rebinding_kills_fact(self):
+        module = parse_module("""
+            def f(self, maker):
+                if self.obs is not None:
+                    self.obs = maker()
+                    self.obs.emit("e")
+        """)
+        func = func_named(module, "f")
+        cfg = build_cfg(func)
+        assert "nonnull:self.obs" not in cfg.guard_facts_at(stmt_at(func, 5))
+
+    def test_merge_is_intersection(self):
+        module = parse_module("""
+            def f(self, flag):
+                if flag:
+                    pass
+                else:
+                    if self.obs is None:
+                        return
+                self.obs.emit("e")
+        """)
+        func = func_named(module, "f")
+        cfg = build_cfg(func)
+        # Only one incoming path proved the guard: the fact must not hold.
+        assert "nonnull:self.obs" not in cfg.guard_facts_at(stmt_at(func, 8))
+
+    def test_early_return_guard_dominates(self):
+        module = parse_module("""
+            def f(self):
+                if self.obs is None:
+                    return
+                self.obs.emit("e")
+        """)
+        func = func_named(module, "f")
+        cfg = build_cfg(func)
+        assert "nonnull:self.obs" in cfg.guard_facts_at(stmt_at(func, 5))
+
+    def test_while_loop_guard(self):
+        module = parse_module("""
+            def f(self, q):
+                while q is not None:
+                    q = q.step()
+        """)
+        func = func_named(module, "f")
+        cfg = build_cfg(func)
+        assert "nonnull:q" in cfg.guard_facts_at(stmt_at(func, 4))
+
+
+# ---------------------------------------------------------------------------
+# Reaching definitions / def-use
+# ---------------------------------------------------------------------------
+
+class TestDefUse:
+    def build(self, source, name="f"):
+        module = parse_module(source)
+        func = func_named(module, name)
+        return func, DefUse.build(func, build_cfg(func))
+
+    def name_load(self, func, ident, line):
+        for node in ast.walk(func):
+            if isinstance(node, ast.Name) and node.id == ident \
+                    and isinstance(node.ctx, ast.Load) \
+                    and node.lineno == line:
+                return node
+        raise AssertionError(f"no load of {ident} at {line}")
+
+    def test_straightline_single_def(self):
+        func, du = self.build("""
+            def f():
+                x = 1
+                x = 2
+                return x
+        """)
+        defs = du.defs_of_use(self.name_load(func, "x", 5))
+        assert [d.line for d in defs] == [4]
+
+    def test_branch_merges_both_defs(self):
+        func, du = self.build("""
+            def f(flag):
+                if flag:
+                    x = 1
+                else:
+                    x = 2
+                return x
+        """)
+        defs = du.defs_of_use(self.name_load(func, "x", 7))
+        assert sorted(d.line for d in defs) == [4, 6]
+
+    def test_parameter_definition(self):
+        func, du = self.build("""
+            def f(a):
+                return a
+        """)
+        defs = du.defs_of_use(self.name_load(func, "a", 3))
+        assert len(defs) == 1 and defs[0].param_index == 0
+
+    def test_augassign_keeps_prior(self):
+        func, du = self.build("""
+            def f():
+                x = 1
+                x += 2
+                return x
+        """)
+        defs = du.defs_of_use(self.name_load(func, "x", 5))
+        assert sorted(d.line for d in defs) == [3, 4]
+        assert any(d.augments for d in defs)
+
+    def test_mutator_call_is_augmenting_def(self):
+        func, du = self.build("""
+            def f(v):
+                out = []
+                out.append(v)
+                return out
+        """)
+        defs = du.defs_of_use(self.name_load(func, "out", 5))
+        assert sorted(d.line for d in defs) == [3, 4]
+        mutator = [d for d in defs if d.line == 4][0]
+        assert mutator.augments and len(mutator.value_exprs) == 1
+
+    def test_loop_target_def(self):
+        func, du = self.build("""
+            def f(items):
+                for x in items:
+                    use(x)
+        """)
+        defs = du.defs_of_use(self.name_load(func, "x", 4))
+        assert len(defs) == 1 and defs[0].line == 3
+
+
+# ---------------------------------------------------------------------------
+# Call graph
+# ---------------------------------------------------------------------------
+
+class TestCallGraph:
+    def test_trailing_name_resolution_and_reachability(self):
+        alpha = parse_module("""
+            class Q:
+                def search(self):
+                    return self.helper()
+
+                def helper(self):
+                    return 1
+        """, path="core/a.py")
+        beta = parse_module("""
+            def run():
+                q = object()
+                return q.search()
+
+            def unrelated():
+                return 0
+        """, path="core/b.py")
+        graph = CallGraph([alpha, beta])
+        names = {graph.functions[i].qualname
+                 for i in graph.reachable_from(["run"])}
+        assert names == {"run", "Q.search", "Q.helper"}
+
+    def test_hotpath_marking(self):
+        module = parse_module("""
+            from repro.core.hotpath import hotpath
+
+            @hotpath
+            def hot():
+                pass
+
+            def cold():
+                pass
+        """)
+        funcs = {f.name: f for f in CallGraph([module]).functions}
+        assert funcs["hot"].hotpath and not funcs["cold"].hotpath
+
+    def test_own_nodes_does_not_leak_into_nested_scopes(self):
+        module = parse_module("""
+            def outer():
+                def inner():
+                    marker_inner()
+                marker_outer()
+        """)
+        func = func_named(module, "outer")
+        calls = [n for n in own_nodes(func) if isinstance(n, ast.Call)]
+        assert [c.func.id for c in calls] == ["marker_outer"]
+        module_calls = [n for n in own_nodes(module.tree)
+                        if isinstance(n, ast.Call)]
+        assert module_calls == []
+
+    def test_is_hotpath_decorator_forms(self):
+        module = parse_module("""
+            @hotpath
+            def a(): pass
+
+            @core.hotpath
+            def b(): pass
+
+            @hotpath(level=2)
+            def c(): pass
+
+            @other
+            def d(): pass
+        """)
+        marks = {f.name: is_hotpath(f.node)
+                 for f in CallGraph([module]).functions}
+        assert marks == {"a": True, "b": True, "c": True, "d": False}
+
+
+# ---------------------------------------------------------------------------
+# Taint engine
+# ---------------------------------------------------------------------------
+
+SPEC = TaintSpec(source_attrs={"_index": "test host index"})
+
+
+def stats_sinks(info):
+    sites = []
+    for node in own_nodes(info.node):
+        if isinstance(node, ast.AugAssign) \
+                and isinstance(node.target, ast.Attribute) \
+                and isinstance(node.target.value, ast.Attribute) \
+                and node.target.value.attr == "stats":
+            sites.append(SinkSite(node=node, exprs=(node.value,),
+                                  descr=f"counter {node.target.attr}",
+                                  rule="T-TEST"))
+    return sites
+
+
+def taint_hits(source, spec=SPEC, path="core/mod.py"):
+    module = parse_module(source, path=path)
+    graph = CallGraph([module])
+    engine = TaintEngine(graph, spec, stats_sinks, modules=[module])
+    engine.solve()
+    return engine.collect_hits()
+
+
+class TestTaintEngine:
+    def test_direct_flow(self):
+        hits = taint_hits("""
+            class Q:
+                def f(self):
+                    self.stats.n += len(self._index)
+        """)
+        assert len(hits) == 1
+        assert source_tags(frozenset(hits[0].tags))[0].what == "_index"
+
+    def test_interprocedural_return_flow(self):
+        hits = taint_hits("""
+            class Q:
+                def depth(self):
+                    return len(self._index)
+
+                def f(self):
+                    self.stats.n += self.depth()
+        """)
+        assert len(hits) == 1
+        assert hits[0].tags[0].via  # provenance records the hop
+
+    def test_sink_parameter_flow(self):
+        hits = taint_hits("""
+            class Q:
+                def charge(self, amount):
+                    self.stats.n += amount
+
+                def f(self):
+                    self.charge(len(self._index))
+        """)
+        assert len(hits) == 1
+        assert hits[0].via_call == "Q.charge"
+
+    def test_accumulator_cannot_launder(self):
+        hits = taint_hits("""
+            class Q:
+                def f(self):
+                    acc = []
+                    acc.append(len(self._index))
+                    self.stats.n += len(acc)
+        """)
+        assert len(hits) == 1
+
+    def test_clean_flow_no_hits(self):
+        hits = taint_hits("""
+            class Q:
+                def f(self):
+                    self.stats.n += len(self.window)
+        """)
+        assert hits == []
+
+    def test_blessed_registry_launders(self):
+        hits = taint_hits("""
+            SIM_LINT_MODEL_VIEWS = frozenset({"path_view"})
+
+            class Q:
+                def path_view(self):
+                    return list(self._index)
+
+                def f(self):
+                    self.stats.n += len(self.path_view())
+        """)
+        assert hits == []
+
+    def test_unresolved_call_launders_off_hotpath(self):
+        hits = taint_hits("""
+            class Q:
+                def f(self):
+                    self.stats.n += external(self._index)
+        """)
+        assert hits == []
+
+    def test_unresolved_call_propagates_on_hotpath(self):
+        hits = taint_hits("""
+            from repro.core.hotpath import hotpath
+
+            class Q:
+                @hotpath
+                def f(self):
+                    self.stats.n += external(self._index)
+        """)
+        assert len(hits) == 1
+
+    def test_augassign_union_keeps_taint_across_branch(self):
+        hits = taint_hits("""
+            class Q:
+                def f(self, flag):
+                    n = 0
+                    if flag:
+                        n += len(self._index)
+                    self.stats.n += n
+        """)
+        assert len(hits) == 1
+
+    def test_param_tags_do_not_poison_attributes(self):
+        # `self.window` must not inherit "param 0" taint from `self`:
+        # passing a tainted receiver into g() is not a tainted read.
+        hits = taint_hits("""
+            class Q:
+                def g(self):
+                    self.stats.n += len(self.window)
+
+                def f(self):
+                    self.g()
+        """)
+        assert hits == []
