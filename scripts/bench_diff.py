@@ -39,6 +39,45 @@ sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
 from repro.harness.engine import diff_reports  # noqa: E402
 
 
+def _calibration(report, which):
+    """``calibration_s`` as a positive float, else ``None`` with a
+    warning.  Old baselines predate the field, hand-edited ones carry
+    strings or zeros — none of those may crash the gate."""
+    value = report.get("calibration_s")
+    try:
+        number = float(value) if value is not None else 0.0
+    except (TypeError, ValueError):
+        print(f"bench-diff: --normalize ignored ({which} report has "
+              f"malformed calibration_s {value!r})", file=sys.stderr)
+        return None
+    if number <= 0.0:
+        print(f"bench-diff: --normalize ignored ({which} report lacks "
+              "calibration_s; only 'repro bench --baseline' records "
+              "it)", file=sys.stderr)
+        return None
+    return number
+
+
+def _service_diff(reports, args) -> int:
+    """Gate two ``kind: service`` reports (``BENCH_service.json``)."""
+    from repro.serve.bench import diff_service_reports
+    old, new = reports
+    if old.get("kind") != "service" or new.get("kind") != "service":
+        print("bench-diff: cannot compare a service report against a "
+              "sweep report", file=sys.stderr)
+        return 2
+    failures = diff_service_reports(old, new, normalize=args.normalize)
+    if failures:
+        print(f"bench-diff: {len(failures)} serving regression(s) "
+              f"({args.old} -> {args.new}):")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"bench-diff: no serving regressions "
+          f"({args.old} -> {args.new})")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("old", help="baseline BENCH_sweep.json")
@@ -66,15 +105,20 @@ def main(argv=None) -> int:
             print(f"bench-diff: cannot read {path}: {error}",
                   file=sys.stderr)
             return 2
+    for path, report in zip((args.old, args.new), reports):
+        if not isinstance(report, dict):
+            print(f"bench-diff: {path} is not a report object "
+                  f"(got {type(report).__name__})", file=sys.stderr)
+            return 2
+
+    if reports[1].get("kind") == "service" \
+            or reports[0].get("kind") == "service":
+        return _service_diff(reports, args)
 
     if args.normalize:
-        old_cal = reports[0].get("calibration_s")
-        new_cal = reports[1].get("calibration_s")
-        if not old_cal or not new_cal:
-            print("bench-diff: --normalize ignored (a report lacks "
-                  "calibration_s; only 'repro bench --baseline' "
-                  "records it)", file=sys.stderr)
-        else:
+        old_cal = _calibration(reports[0], "old")
+        new_cal = _calibration(reports[1], "new")
+        if old_cal is not None and new_cal is not None:
             # Clamped at 1.0: a slower measuring machine loosens the
             # wall budget, but a faster (or transiently lighter-loaded)
             # one never tightens it — the probe has its own noise, and

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""CI smoke for the simulation job server (:mod:`repro.serve`).
+
+Stands up a real server on an ephemeral port with a fresh temp cache,
+then asserts the serving contract end to end:
+
+1. two clients submit the same overlapping sweep concurrently and both
+   stream their jobs to completion with zero failed cells;
+2. the single-flight table coalesced them — ``computed`` cells are
+   strictly fewer than ``requested`` cells;
+3. a warm resubmit is served entirely from the on-disk cache, under the
+   warm-hit latency SLO.
+
+Finally runs the full serving bench and writes its report (default
+``BENCH_service_fresh.json``) so the workflow can gate it against the
+committed ``BENCH_service.json`` with ``scripts/bench_diff.py``.
+
+Usage::
+
+    python scripts/serve_smoke.py [-o BENCH_service_fresh.json]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src"))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-o", "--output",
+                        default="BENCH_service_fresh.json",
+                        help="serving bench report path")
+    parser.add_argument("--instructions", type=int, default=800)
+    args = parser.parse_args(argv)
+
+    import tempfile
+    from pathlib import Path
+
+    from repro.serve.bench import (
+        WARM_HIT_P50_SLO_MS,
+        ServerHarness,
+        run_service_bench,
+    )
+    from repro.serve.client import ServeClient, generate_load
+    from repro.serve.server import ServeConfig
+    from repro.serve.spec import smoke_spec
+
+    spec = smoke_spec(args.instructions)
+    with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as tmp:
+        config = ServeConfig(port=0, workers=2,
+                             cache_dir=str(Path(tmp) / "cache"))
+        with ServerHarness(config) as harness:
+            client = ServeClient(port=harness.port)
+
+            load = generate_load(harness.config.host, harness.port,
+                                 [spec, spec], clients=2)
+            if load["jobs_completed"] != 2:
+                print(f"serve-smoke: FAIL: {load['jobs_completed']}/2 "
+                      "concurrent jobs completed")
+                return 1
+            if load["failed_cells"]:
+                print(f"serve-smoke: FAIL: {load['failed_cells']} "
+                      "cell(s) failed")
+                return 1
+
+            cells = client.stats()["cells"]
+            if cells["computed"] >= cells["requested"]:
+                print("serve-smoke: FAIL: no coalescing — "
+                      f"{cells['computed']} computed for "
+                      f"{cells['requested']} requested")
+                return 1
+            print(f"serve-smoke: coalescing ok "
+                  f"({cells['computed']} computed, "
+                  f"{cells['coalesced']} coalesced, "
+                  f"{cells['requested']} requested)")
+
+            job = client.submit(spec)
+            final = client.wait(str(job["id"]))
+            rows = final["cells"]
+            not_cached = [row for row in rows
+                          if row.get("source") != "cache"]
+            if not_cached:
+                print(f"serve-smoke: FAIL: {len(not_cached)} warm "
+                      "cell(s) missed the cache")
+                return 1
+            warm_ms = sorted(float(row["service_ms"]) for row in rows)
+            p50 = warm_ms[len(warm_ms) // 2]
+            if p50 >= WARM_HIT_P50_SLO_MS:
+                print(f"serve-smoke: FAIL: warm-hit p50 {p50:.3f} ms "
+                      f"breaches the {WARM_HIT_P50_SLO_MS:.1f} ms SLO")
+                return 1
+            print(f"serve-smoke: warm hits ok (p50 {p50:.3f} ms, "
+                  f"max {warm_ms[-1]:.3f} ms over {len(rows)} cells)")
+
+    report = run_service_bench(n_instructions=args.instructions)
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"serve-smoke: ok; bench report -> {args.output} "
+          f"(cold {report['cold']['cells_per_s']} cells/s, "
+          f"warm p50 {report['warm']['p50_ms']} ms)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

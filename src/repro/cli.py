@@ -30,6 +30,11 @@ Commands
 ``lint``      run the simulator-aware static analyzer
               (:mod:`repro.analyze`) over the repro sources; exit
               nonzero on any non-baselined finding.
+``serve``     run the simulation-as-a-service job server
+              (:mod:`repro.serve`): clients POST sweep specs, identical
+              cells coalesce, results stream back as NDJSON.
+``submit``    submit a sweep spec to a running server and stream the
+              job to completion.
 """
 
 from __future__ import annotations
@@ -62,21 +67,33 @@ PRESETS: Dict[str, callable] = {
     "full": full_techniques_lsq,
 }
 
-#: Exit codes for the validation-facing verbs (``check``/``litmus``):
-#: distinct numbers so CI and scripts can tell a consistency violation
-#: from a hung simulation from a usage error (argparse's own 2).
+#: Exit codes, one meaning per number so CI and scripts can tell the
+#: failure classes apart.  Usage errors are always ``2`` (argparse's
+#: own convention) no matter which verb raised them; the validation
+#: verbs add 3/4, the serving verbs 5/6.
 EXIT_VALIDATION = 1
 EXIT_USAGE = 2
 EXIT_FORBIDDEN = 3
 EXIT_WATCHDOG = 4
+EXIT_UNAVAILABLE = 5   # submit: the server cannot be reached
+EXIT_BUSY = 6          # submit: backpressured (429) past all retries
+
+
+def _usage_error(message: str) -> None:
+    """Reject bad arguments the way argparse does: message on stderr,
+    exit :data:`EXIT_USAGE`.  (``sys.exit(message)`` would exit 1 with
+    the text *as* the code — indistinguishable from a validation
+    failure.)"""
+    print(message, file=sys.stderr)
+    sys.exit(EXIT_USAGE)
 
 
 def _machine(args) -> MachineConfig:
     core = scaled_machine() if getattr(args, "scaled", False) \
         else base_machine()
     if args.lsq not in PRESETS:
-        sys.exit(f"unknown LSQ preset {args.lsq!r}; choose from: "
-                 f"{', '.join(sorted(PRESETS))}")
+        _usage_error(f"unknown LSQ preset {args.lsq!r}; choose from: "
+                     f"{', '.join(sorted(PRESETS))}")
     lsq = PRESETS[args.lsq](ports=args.ports)
     return replace(core, lsq=lsq)
 
@@ -85,20 +102,20 @@ def _load_trace(args) -> Trace:
     name = args.benchmark
     if name.endswith(".lsqtrace"):
         if not os.path.exists(name):
-            sys.exit(f"trace file not found: {name}")
+            _usage_error(f"trace file not found: {name}")
         return Trace.load(name)
     if name.startswith("litmus/"):
         from repro.litmus import parse_litmus_name
         try:
             parse_litmus_name(name)
         except ValueError as error:
-            sys.exit(str(error))
+            _usage_error(str(error))
         return generate_trace(name, n_instructions=args.instructions,
                               seed=getattr(args, "seed", 0))
     if name not in ALL_BENCHMARKS:
-        sys.exit(f"unknown benchmark {name!r}; choose from: "
-                 f"{', '.join(ALL_BENCHMARKS)}, a litmus/... name, or a "
-                 f".lsqtrace file")
+        _usage_error(f"unknown benchmark {name!r}; choose from: "
+                     f"{', '.join(ALL_BENCHMARKS)}, a litmus/... name, "
+                     f"or a .lsqtrace file")
     return generate_trace(name, n_instructions=args.instructions)
 
 
@@ -106,8 +123,8 @@ def _resolve_benchmarks(name: str) -> List[str]:
     if name == "all":
         return list(ALL_BENCHMARKS)
     if name not in ALL_BENCHMARKS:
-        sys.exit(f"unknown benchmark {name!r}; choose from: "
-                 f"{', '.join(ALL_BENCHMARKS)} or 'all'")
+        _usage_error(f"unknown benchmark {name!r}; choose from: "
+                     f"{', '.join(ALL_BENCHMARKS)} or 'all'")
     return [name]
 
 
@@ -153,8 +170,9 @@ def cmd_figure(args) -> None:
     unknown = [name for name in names
                if name not in figures.ALL_EXPERIMENTS]
     if unknown:
-        sys.exit(f"unknown figure {unknown[0]!r}; choose from: "
-                 f"{', '.join(sorted(figures.ALL_EXPERIMENTS))} or 'all'")
+        _usage_error(f"unknown figure {unknown[0]!r}; choose from: "
+                     f"{', '.join(sorted(figures.ALL_EXPERIMENTS))} "
+                     f"or 'all'")
     runner = ExperimentRunner(n_instructions=args.instructions,
                               engine=_engine(args))
     for name in names:
@@ -198,7 +216,7 @@ def cmd_trace(args) -> None:
         args.benchmark = args.benchmark or SMOKE_BENCHMARKS[0]
         args.instructions = SMOKE_INSTRUCTIONS
     if not args.benchmark:
-        sys.exit("trace: benchmark required (or pass --smoke)")
+        _usage_error("trace: benchmark required (or pass --smoke)")
     trace = _load_trace(args)
     machine = _machine(args)
     observer = Observer(ObsConfig(sample_interval=args.sample_interval,
@@ -248,9 +266,10 @@ def cmd_profile(args) -> None:
     from repro.stats.report import format_table
 
     if args.benchmark not in ALL_BENCHMARKS:
-        sys.exit(f"unknown benchmark {args.benchmark!r}; choose from: "
-                 f"{', '.join(ALL_BENCHMARKS)} (profile regenerates the "
-                 "trace by name, so .lsqtrace files are not accepted)")
+        _usage_error(f"unknown benchmark {args.benchmark!r}; choose "
+                     f"from: {', '.join(ALL_BENCHMARKS)} (profile "
+                     "regenerates the trace by name, so .lsqtrace files "
+                     "are not accepted)")
     machine = _machine(args)
     label = f"{args.lsq}-{args.ports}p"
     cell = Cell(benchmark=args.benchmark, machine=machine, seed=args.seed,
@@ -485,12 +504,25 @@ def cmd_bench(args) -> None:
         n_instructions = args.instructions or default_instructions()
     for name in benchmarks:
         if name not in ALL_BENCHMARKS:
-            sys.exit(f"unknown benchmark {name!r}; choose from: "
-                     f"{', '.join(ALL_BENCHMARKS)}")
+            _usage_error(f"unknown benchmark {name!r}; choose from: "
+                         f"{', '.join(ALL_BENCHMARKS)}")
     for name in presets:
         if name not in PRESETS:
-            sys.exit(f"unknown preset {name!r}; choose from: "
-                     f"{', '.join(sorted(PRESETS))}")
+            _usage_error(f"unknown preset {name!r}; choose from: "
+                         f"{', '.join(sorted(PRESETS))}")
+    if not benchmarks or not presets or not seeds:
+        # An empty grid is a usage error, never a vacuous success —
+        # in particular `--expect-cached` over zero cells must not
+        # report a warm cache it never touched.
+        empty = ("benchmarks" if not benchmarks
+                 else "presets" if not presets else "seeds")
+        _usage_error(f"bench: --{empty} selected zero cells; nothing "
+                     "to run (and nothing to assert with "
+                     "--expect-cached)")
+    if args.compare and not os.path.isfile(args.compare):
+        # Fail before the sweep, not after minutes of simulation.
+        _usage_error(f"bench: --compare baseline not found: "
+                     f"{args.compare}")
 
     cells = []
     for bench in benchmarks:
@@ -558,7 +590,8 @@ def _compare_report(old_path: str, report) -> None:
         with open(old_path) as handle:
             old_report = json.load(handle)
     except (OSError, ValueError) as error:
-        sys.exit(f"bench: cannot read --compare baseline: {error}")
+        _usage_error(f"bench: cannot read --compare baseline: {error}")
+        return
     problems = diff_reports(old_report, report)
     if problems:
         print(f"bench: {len(problems)} regression(s) vs {old_path}:")
@@ -604,6 +637,100 @@ def cmd_lint(args) -> None:
     code = run_lint(namespace=args)
     if code:
         sys.exit(code)
+
+
+def cmd_serve(args) -> None:
+    """Run the simulation job server until interrupted."""
+    from repro.serve.server import ServeConfig, run_server
+    if args.workers < 1:
+        _usage_error("serve: --workers must be >= 1")
+    if args.max_jobs < 1:
+        _usage_error("serve: --max-jobs must be >= 1")
+    run_server(ServeConfig(
+        host=args.host, port=args.port, workers=args.workers,
+        max_jobs=args.max_jobs, retry_after_s=args.retry_after,
+        cache_dir=args.cache_dir, no_cache=args.no_cache))
+
+
+def cmd_submit(args) -> None:
+    """Submit a sweep spec to a running server; stream it to done."""
+    import json
+
+    from repro.serve.client import (
+        Backpressure,
+        ServeClient,
+        ServeUnavailable,
+        SpecRejected,
+    )
+    from repro.serve.spec import smoke_spec
+
+    if args.smoke:
+        spec = smoke_spec(args.instructions or SMOKE_INSTRUCTIONS)
+    else:
+        spec = {
+            "benchmarks": [b.strip() for b in args.benchmarks.split(",")
+                           if b.strip()],
+            "presets": [p.strip() for p in args.presets.split(",")
+                        if p.strip()],
+            "seeds": [],
+            "n_instructions": args.instructions or SMOKE_INSTRUCTIONS,
+            "validate": args.validate,
+            "obs": args.obs,
+        }
+        for text in args.seeds.split(","):
+            if text.strip():
+                try:
+                    spec["seeds"].append(int(text))
+                except ValueError:
+                    _usage_error(f"submit: bad seed {text.strip()!r}")
+        if args.ports:
+            spec["ports"] = args.ports
+    client = ServeClient(host=args.host, port=args.port)
+    try:
+        job = client.submit_with_retry(
+            spec, attempts=args.retries if args.wait_busy else 1)
+    except SpecRejected as error:
+        _usage_error(f"submit: spec rejected: {error}")
+        return
+    except Backpressure as error:
+        print(f"submit: server busy ({error}); retry in "
+              f"{error.retry_after_s:.0f}s or pass --wait-busy",
+              file=sys.stderr)
+        sys.exit(EXIT_BUSY)
+    except ServeUnavailable as error:
+        print(f"submit: {error}", file=sys.stderr)
+        sys.exit(EXIT_UNAVAILABLE)
+    job_id = str(job["id"])
+    print(f"submit: {job_id} ({job['n_cells']} cells) -> "
+          f"http://{args.host}:{args.port}/jobs/{job_id}")
+    try:
+        for event in client.stream(job_id):
+            if event.get("event") == "cell":
+                status = event.get("status")
+                mark = "ok  " if status == "done" else "FAIL"
+                print(f"  {mark} [{event.get('index')}] "
+                      f"{event.get('benchmark')} x {event.get('label')} "
+                      f"seed {event.get('seed')}: "
+                      f"IPC {event.get('ipc')} "
+                      f"({event.get('source') or event.get('error')}, "
+                      f"{event.get('service_ms')} ms)")
+        final = client.result(job_id)
+    except ServeUnavailable as error:
+        print(f"submit: lost the server mid-stream: {error}",
+              file=sys.stderr)
+        sys.exit(EXIT_UNAVAILABLE)
+    summary = final["job"]
+    assert isinstance(summary, dict)
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(final, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"submit: result -> {args.output}")
+    print(f"submit: {job_id} {summary['state']}: {summary['done']} done, "
+          f"{summary['failed']} failed "
+          f"(sources {summary['sources']}) in {summary['elapsed_s']}s")
+    if int(summary.get("failed", 0) or 0):
+        sys.exit(EXIT_VALIDATION)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -814,6 +941,68 @@ def build_parser() -> argparse.ArgumentParser:
         "lint", help="simulator-aware static analysis over repro sources")
     build_lint_parser(lint)
     lint.set_defaults(func=cmd_lint)
+
+    serve = sub.add_parser(
+        "serve", help="run the simulation job server (POST sweep specs "
+                      "to /jobs; progress streams as NDJSON)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8642,
+                       help="listen port (default 8642; 0 = ephemeral)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="worker processes for cache misses "
+                            "(default 2)")
+    serve.add_argument("--max-jobs", type=int, default=8,
+                       dest="max_jobs",
+                       help="active jobs admitted before 429 "
+                            "(default 8)")
+    serve.add_argument("--retry-after", type=float, default=1.0,
+                       dest="retry_after",
+                       help="Retry-After hint for backpressured "
+                            "clients, seconds (default 1)")
+    serve.add_argument("--cache", dest="cache_dir", metavar="DIR",
+                       help="result-cache directory (default: "
+                            "$REPRO_CACHE_DIR or .repro-cache)")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="disable the on-disk result cache "
+                            "(coalescing still dedupes concurrent "
+                            "cells)")
+    serve.set_defaults(func=cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit a sweep to a running server and stream "
+                       "the job to completion")
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument("--port", type=int, default=8642)
+    submit.add_argument("--benchmarks", default="gzip",
+                        help="comma-separated names, litmus/... allowed "
+                             "(default: gzip)")
+    submit.add_argument("--presets", default="conventional,full",
+                        help="comma-separated preset names "
+                             "(default: conventional,full)")
+    submit.add_argument("--seeds", default="0",
+                        help="comma-separated seeds (default: 0)")
+    submit.add_argument("-n", "--instructions", type=int, default=0,
+                        help="instructions per cell (default: 800)")
+    submit.add_argument("--ports", type=int, default=0,
+                        help="search ports (default: the paper's "
+                             "pairing)")
+    submit.add_argument("--validate", action="store_true",
+                        help="run every cell under the validation stack")
+    submit.add_argument("--obs", action="store_true",
+                        help="attach the interval sampler; progress "
+                             "events carry IPC/occupancy tails")
+    submit.add_argument("--smoke", action="store_true",
+                        help="submit the fixed CI smoke slice")
+    submit.add_argument("--wait-busy", action="store_true",
+                        dest="wait_busy",
+                        help="sleep out 429 backpressure instead of "
+                             "exiting 6")
+    submit.add_argument("--retries", type=int, default=60,
+                        help="max submission attempts with --wait-busy "
+                             "(default 60)")
+    submit.add_argument("-o", "--output", default=None,
+                        help="also write the full result JSON here")
+    submit.set_defaults(func=cmd_submit)
     return parser
 
 

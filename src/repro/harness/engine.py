@@ -249,10 +249,11 @@ class ResultCache:
                                  obs=obs)
         descriptor, tmp_name = tempfile.mkstemp(
             dir=str(path.parent), prefix=".tmp-", suffix=".pkl")
+        handle = None
         try:
-            with os.fdopen(descriptor, "wb") as handle:
-                pickle.dump(payload, handle,
-                            protocol=pickle.HIGHEST_PROTOCOL)
+            handle = os.fdopen(descriptor, "wb")
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            handle.close()
             os.replace(tmp_name, path)
         except BaseException:
             try:
@@ -260,6 +261,14 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        finally:
+            # Serialization can raise anywhere between mkstemp and
+            # os.replace; the raw descriptor must be released on every
+            # path (close() is idempotent once fdopen took ownership).
+            if handle is not None:
+                handle.close()
+            else:
+                os.close(descriptor)
 
 
 def _simulate_cell(cell: Cell) -> Tuple[SimulationResult, float,
@@ -335,6 +344,34 @@ class SweepEngine:
         return CellResult(cell=cell, result=result, sim_s=sim_s,
                           wall_s=wall_s, cached=False, validation=validation,
                           obs=obs)
+
+    def probe_cell(self, cell: Cell) -> Optional[CellResult]:
+        """Cache-only lookup: return the cached result or ``None``.
+
+        This is the serving layer's warm-hit path — a single disk read
+        measured in microseconds, never a simulation.  Safe to call from
+        an event loop without an executor.
+        """
+        return self._from_cache(cell, cell.digest())
+
+    async def run_cell_async(self, cell: Cell,
+                             executor: Optional[object] = None) -> CellResult:
+        """Async-friendly :meth:`run_cell`.
+
+        The cache probe happens inline (it cannot stall a loop), while a
+        miss's simulation — seconds of pure compute — is pushed into
+        ``executor`` (``None`` = the loop's default thread pool) so the
+        event loop stays responsive.  The serving layer's worker-process
+        pool bypasses this and ships cells to dedicated processes; this
+        entry point is the dependency-free fallback.
+        """
+        import asyncio
+        digest = cell.digest()
+        cached = self._from_cache(cell, digest)
+        if cached is not None:
+            return cached
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(executor, self.run_cell, cell)  # type: ignore[arg-type]
 
     def run_cell(self, cell: Cell) -> CellResult:
         """Run one cell in-process (cache-first)."""

@@ -15,7 +15,8 @@ JSON-able dicts or CSV — no plotting dependencies.
 from __future__ import annotations
 
 from collections import deque
-from typing import TYPE_CHECKING, Deque, Dict, List, NamedTuple, Union
+from typing import TYPE_CHECKING, Deque, Dict, List, NamedTuple, Sequence, \
+    Union
 
 if TYPE_CHECKING:
     from repro.pipeline.processor import Processor
@@ -42,6 +43,31 @@ class Sample(NamedTuple):
 #: SimStats counters whose interval deltas feed a :class:`Sample`.
 _DELTA_FIELDS = ("committed", "sq_searches", "lq_searches",
                  "sq_port_stalls", "lq_port_stalls", "dcache_port_stalls")
+
+
+def stream_points(samples: Sequence[Sample],
+                  limit: int = 16) -> List[Dict[str, Union[int, float]]]:
+    """Compact tail of an interval series for a live progress feed.
+
+    The serving layer (:mod:`repro.serve`) attaches one of these to
+    every finished cell's progress event, so a streaming client sees
+    the shape of the run — IPC trajectory, queue pressure, port
+    saturation — not just a completion tick.  ``limit`` bounds the
+    payload (the full series still travels in the cached
+    :class:`~repro.obs.ObsSummary`); the most recent rows win because
+    they describe the run's steady state.
+    """
+    tail = list(samples)[-limit:] if limit > 0 else []
+    return [{
+        "cycle": row.cycle,
+        "ipc": round(row.ipc, 4),
+        "rob_occ": row.rob_occ,
+        "lq_occ": row.lq_occ,
+        "sq_occ": row.sq_occ,
+        "lb_occ": row.lb_occ,
+        "port_util": round(row.port_util, 4),
+        "mpki": round(row.mpki, 3),
+    } for row in tail]
 
 
 class IntervalSampler:

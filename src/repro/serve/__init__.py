@@ -1,0 +1,57 @@
+"""repro.serve — simulation-as-a-service over the sweep engine.
+
+The harness already owns the hard parts of a serving stack: a
+content-addressed on-disk result cache whose warm hits cost
+microseconds (:mod:`repro.harness.engine`), picklable
+:class:`~repro.harness.engine.CellResult` payloads, and perf/parity
+gates.  This package wraps them in a long-running **asyncio job
+server** so many concurrent clients can drive the same simulator
+without each paying for the same cells:
+
+* :mod:`repro.serve.spec` — the sweep-spec grammar (the same
+  benchmark x preset x seed cell grammar as ``repro bench``, including
+  ``litmus/...`` names), validated server-side;
+* :mod:`repro.serve.singleflight` — the request-coalescing table:
+  identical cells across concurrent jobs share one in-flight
+  computation, keyed on the engine's cache digest;
+* :mod:`repro.serve.scheduler` — a work-stealing worker-process pool;
+  a crashing worker fails only the cell it was computing and is
+  respawned, the job continues;
+* :mod:`repro.serve.jobs` — the job store: admission control
+  (bounded active jobs -> HTTP 429 + ``Retry-After``), per-cell
+  states, and the event log behind the progress stream;
+* :mod:`repro.serve.server` — the stdlib-only HTTP front end
+  (``asyncio.start_server`` + hand-rolled HTTP/1.1): ``POST /jobs``
+  returns a job id, ``GET /jobs/<id>/stream`` streams NDJSON progress
+  over a chunked response fed by the :mod:`repro.obs` interval
+  sampler;
+* :mod:`repro.serve.client` — a stdlib ``http.client`` client plus a
+  threaded load generator;
+* :mod:`repro.serve.bench` — the serving bench: warm-hit latency,
+  cold throughput and coalescing ratio, emitted as
+  ``BENCH_service.json`` and gated by ``scripts/bench_diff.py``.
+
+``repro serve`` starts the server; ``repro submit`` is the CLI client.
+See ``docs/SERVING.md`` for the API and semantics.
+"""
+
+from __future__ import annotations
+
+from repro.serve.bench import ServerHarness, diff_service_reports, \
+    run_service_bench
+from repro.serve.client import Backpressure, ServeClient, ServeError, \
+    ServeUnavailable, SpecRejected
+from repro.serve.jobs import Busy, Job, JobStore
+from repro.serve.scheduler import WorkerCrash, WorkerPool
+from repro.serve.server import ServeApp, ServeConfig, run_server
+from repro.serve.singleflight import SingleFlight
+from repro.serve.spec import SpecError, SweepSpec, expand_cells, \
+    parse_spec, smoke_spec
+
+__all__ = [
+    "Backpressure", "Busy", "Job", "JobStore", "ServeApp", "ServeClient",
+    "ServeConfig", "ServeError", "ServeUnavailable", "ServerHarness",
+    "SingleFlight", "SpecError", "SpecRejected", "SweepSpec",
+    "WorkerCrash", "WorkerPool", "diff_service_reports", "expand_cells",
+    "parse_spec", "run_server", "run_service_bench", "smoke_spec",
+]

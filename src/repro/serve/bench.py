@@ -1,0 +1,273 @@
+"""Serving SLO bench: cold throughput, coalescing ratio, warm-hit latency.
+
+The load/store-queue sweeps this repo reproduces are embarrassingly
+cacheable — the same (config, benchmark, seed) cell is requested over
+and over as figures are re-plotted — so the serving layer lives or
+dies on three numbers:
+
+* **cold throughput** — cells/second through the worker pool with an
+  empty cache (the first time anyone asks);
+* **coalescing ratio** — computed/requested when concurrent jobs
+  overlap (two clients asking for figure 7 must cost one figure 7);
+* **warm-hit latency** — per-cell ``service_ms`` when every cell is on
+  disk.  The SLO is p50 < 5 ms: a cached cell is a file read, and must
+  price like one.
+
+:func:`run_service_bench` spins a private server (fresh temp cache,
+ephemeral port) and measures all three; the report lands in
+``BENCH_service.json`` and :func:`diff_service_reports` gates it in CI
+next to the core-loop baseline (see ``scripts/bench_diff.py``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.harness.engine import calibration_loop_s, code_version
+from repro.serve.client import ServeClient, _percentile, generate_load
+from repro.serve.server import ServeApp, ServeConfig
+
+SERVICE_SCHEMA = 1
+
+#: The serving SLO: p50 warm-hit service latency, milliseconds.
+WARM_HIT_P50_SLO_MS = 5.0
+
+
+class ServerHarness:
+    """A ServeApp on a background thread with its own event loop.
+
+    Lets synchronous code (benches, pytest, the CI smoke) stand up a
+    real server — real sockets, real worker processes — talk to it
+    with :class:`~repro.serve.client.ServeClient`, and tear it down:
+
+        with ServerHarness(ServeConfig(port=0, ...)) as harness:
+            client = ServeClient(port=harness.port)
+    """
+
+    def __init__(self, config: Optional[ServeConfig] = None) -> None:
+        self.config = config if config is not None else ServeConfig(port=0)
+        self.app: Optional[ServeApp] = None
+        self.port = 0
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    def start(self) -> "ServerHarness":
+        self._thread = threading.Thread(target=self._run,
+                                        name="repro-serve-harness",
+                                        daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=60.0):
+            raise RuntimeError("server harness did not start in 60s")
+        if self._startup_error is not None:
+            raise RuntimeError(
+                f"server harness failed to start: {self._startup_error}")
+        return self
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        self.app = ServeApp(self.config)
+        try:
+            loop.run_until_complete(self.app.start())
+            self.port = self.app.port
+        except BaseException as error:  # noqa: BLE001 — reported to starter
+            self._startup_error = error
+            self._ready.set()
+            return
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(self.app.close())
+            loop.close()
+
+    def stop(self) -> None:
+        if self._loop is not None and self._loop.is_running():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=30.0)
+
+    def __enter__(self) -> "ServerHarness":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+def _bench_spec(n_instructions: int, seeds: Sequence[int],
+                presets: Sequence[str]) -> Dict[str, object]:
+    return {
+        "benchmarks": ["gzip", "mgrid"],
+        "presets": list(presets),
+        "seeds": list(seeds),
+        "n_instructions": n_instructions,
+    }
+
+
+def run_service_bench(n_instructions: int = 800,
+                      warm_rounds: int = 5,
+                      workers: int = 2) -> Dict[str, object]:
+    """Measure the serving path end to end; returns the report dict."""
+    with tempfile.TemporaryDirectory(prefix="repro-serve-bench-") as tmp:
+        config = ServeConfig(port=0, workers=workers,
+                             cache_dir=str(Path(tmp) / "cache"))
+        with ServerHarness(config) as harness:
+            client = ServeClient(port=harness.port)
+            spec = _bench_spec(n_instructions, seeds=[1, 2],
+                               presets=["conventional", "full"])
+
+            # Cold: two concurrent clients ask for heavily-overlapping
+            # sweeps against an empty cache.  Wall time prices the
+            # worker pool; /stats prices the coalescing.
+            cold_start = time.perf_counter()  # sim-lint: ignore[SIM-D004]
+            load = generate_load(harness.config.host, harness.port,
+                                 [spec, spec], clients=2)
+            cold_wall = \
+                time.perf_counter() - cold_start  # sim-lint: ignore[SIM-D004]
+            stats = client.stats()
+            cells = stats["cells"]
+            assert isinstance(cells, dict)
+            requested = int(cells["requested"])
+            computed = int(cells["computed"])
+
+            # Warm: resubmit the same sweep; every cell must come back
+            # source=cache, and its service_ms is the number we gate.
+            warm_ms: List[float] = []
+            warm_sources: Dict[str, int] = {}
+            for _round in range(warm_rounds):
+                job = client.submit(spec)
+                final = client.wait(str(job["id"]))
+                for row in final.get("cells", []):
+                    assert isinstance(row, dict)
+                    source = str(row.get("source"))
+                    warm_sources[source] = warm_sources.get(source, 0) + 1
+                    if row.get("service_ms") is not None:
+                        warm_ms.append(float(row["service_ms"]))
+
+    return {
+        "schema": SERVICE_SCHEMA,
+        "kind": "service",
+        "code_version": code_version(),
+        "calibration_s": round(calibration_loop_s(), 6),
+        "workers": workers,
+        "n_instructions": n_instructions,
+        "cold": {
+            "n_cells": requested,
+            "wall_s": round(cold_wall, 6),
+            "cells_per_s": round(computed / cold_wall, 3)
+            if cold_wall > 0 else 0.0,
+            "failed": load["failed_cells"],
+        },
+        "coalescing": {
+            "requested": requested,
+            "computed": computed,
+            "ratio": round(computed / requested, 4) if requested else 0.0,
+        },
+        "warm": {
+            "rounds": warm_rounds,
+            "cells": len(warm_ms),
+            "sources": warm_sources,
+            "p50_ms": round(_percentile(warm_ms, 0.50), 3),
+            "p90_ms": round(_percentile(warm_ms, 0.90), 3),
+            "max_ms": round(max(warm_ms), 3) if warm_ms else 0.0,
+        },
+        "slo": {"warm_hit_p50_ms": WARM_HIT_P50_SLO_MS},
+    }
+
+
+def diff_service_reports(old: Dict[str, object], new: Dict[str, object],
+                         *, warm_slo_ms: float = WARM_HIT_P50_SLO_MS,
+                         throughput_tol: float = 0.5,
+                         normalize: bool = False) -> List[str]:
+    """Compare two service reports; returns human-readable failures.
+
+    Gates: (1) the warm-hit p50 SLO is absolute — cache reads do not
+    get slower because the host does; (2) cold throughput may not drop
+    below ``(1 - throughput_tol)`` of the baseline (optionally scaled
+    by the calibration ratio when ``normalize`` is set); (3) every
+    cell computed cold must have succeeded; (4) the coalescing ratio
+    must not regress above the baseline (more duplicate computation).
+    """
+    failures: List[str] = []
+    new_warm = new.get("warm")
+    if not isinstance(new_warm, dict):
+        return [f"new service report has no warm section: {new!r}"]
+    p50 = float(new_warm.get("p50_ms") or 0.0)
+    if p50 >= warm_slo_ms:
+        failures.append(
+            f"warm-hit p50 {p50:.3f} ms breaches the {warm_slo_ms:.1f} ms "
+            "SLO")
+    new_cold = new.get("cold")
+    if isinstance(new_cold, dict) and int(new_cold.get("failed") or 0):
+        failures.append(
+            f"{new_cold['failed']} cell(s) failed during the cold run")
+    old_cold = old.get("cold")
+    if isinstance(old_cold, dict) and isinstance(new_cold, dict):
+        old_rate = float(old_cold.get("cells_per_s") or 0.0)
+        new_rate = float(new_cold.get("cells_per_s") or 0.0)
+        scale = 1.0
+        if normalize:
+            try:
+                old_cal = float(old.get("calibration_s") or 0.0)
+                new_cal = float(new.get("calibration_s") or 0.0)
+            except (TypeError, ValueError):
+                old_cal = new_cal = 0.0
+            if old_cal > 0.0 and new_cal > 0.0:
+                # A slower host computes fewer cells/s; only ever
+                # *relax* the bar (scale <= 1), never tighten it.
+                scale = min(1.0, old_cal / new_cal)
+        floor = old_rate * (1.0 - throughput_tol) * scale
+        if old_rate > 0.0 and new_rate < floor:
+            failures.append(
+                f"cold throughput {new_rate:.3f} cells/s is below "
+                f"{floor:.3f} (baseline {old_rate:.3f}, "
+                f"tol {throughput_tol:.0%}, scale {scale:.3f})")
+    old_co = old.get("coalescing")
+    new_co = new.get("coalescing")
+    if isinstance(old_co, dict) and isinstance(new_co, dict):
+        old_ratio = float(old_co.get("ratio") or 1.0)
+        new_ratio = float(new_co.get("ratio") or 1.0)
+        if new_ratio > old_ratio + 1e-9:
+            failures.append(
+                f"coalescing ratio regressed: {new_ratio:.4f} computed per "
+                f"requested vs baseline {old_ratio:.4f} (duplicate "
+                "computation crept in)")
+    return failures
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """``python -m repro.serve.bench [-o OUT]`` — emit a report."""
+    import argparse
+    parser = argparse.ArgumentParser(
+        description="Run the serving SLO bench")
+    parser.add_argument("-o", "--output", default="BENCH_service.json")
+    parser.add_argument("--instructions", type=int, default=800)
+    parser.add_argument("--warm-rounds", type=int, default=5)
+    parser.add_argument("--workers", type=int, default=2)
+    options = parser.parse_args(argv)
+    report = run_service_bench(n_instructions=options.instructions,
+                               warm_rounds=options.warm_rounds,
+                               workers=options.workers)
+    Path(options.output).write_text(json.dumps(report, indent=2) + "\n")
+    warm = report["warm"]
+    cold = report["cold"]
+    coalescing = report["coalescing"]
+    assert isinstance(warm, dict) and isinstance(cold, dict) \
+        and isinstance(coalescing, dict)
+    print(f"service bench: cold {cold['cells_per_s']} cells/s, "
+          f"coalescing {coalescing['computed']}/{coalescing['requested']}, "
+          f"warm p50 {warm['p50_ms']} ms -> {options.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,240 @@
+"""Stdlib client for the job server, plus a threaded load generator.
+
+:class:`ServeClient` speaks the server's tiny JSON API over
+``http.client`` (which decodes the chunked progress stream
+transparently, so :meth:`ServeClient.stream` is just NDJSON lines).
+Failures map to typed exceptions the CLI turns into distinct exit
+codes: :class:`ServeUnavailable` (no server), :class:`SpecRejected`
+(HTTP 400), :class:`Backpressure` (HTTP 429, with the server's
+``Retry-After`` hint attached).
+
+:func:`generate_load` is the serving bench's traffic source: N client
+threads submitting (heavily overlapping) sweep specs concurrently,
+honouring backpressure, each streaming its job to completion — the
+closest a test harness gets to "millions of users" on one box.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from typing import Dict, Iterator, List, Optional, Sequence
+
+
+class ServeError(RuntimeError):
+    """Any client-visible serving failure."""
+
+
+class ServeUnavailable(ServeError):
+    """The server cannot be reached (connection refused / dropped)."""
+
+
+class SpecRejected(ServeError):
+    """The server rejected the sweep spec (HTTP 400)."""
+
+
+class Backpressure(ServeError):
+    """Admission refused (HTTP 429); retry after ``retry_after_s``."""
+
+    def __init__(self, message: str, retry_after_s: float) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class ServeClient:
+    """One server endpoint; every call opens its own connection."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8642,
+                 timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 payload: Optional[Dict[str, object]] = None,
+                 ) -> Dict[str, object]:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout)
+        try:
+            body = json.dumps(payload).encode() if payload is not None \
+                else None
+            headers = {"Content-Type": "application/json"} \
+                if body is not None else {}
+            try:
+                connection.request(method, path, body=body, headers=headers)
+                response = connection.getresponse()
+                raw = response.read()
+            except OSError as error:
+                raise ServeUnavailable(
+                    f"cannot reach http://{self.host}:{self.port}: "
+                    f"{error}") from None
+            try:
+                decoded = json.loads(raw.decode() or "{}")
+            except ValueError:
+                decoded = {"error": raw.decode(errors="replace")}
+            if response.status == 400:
+                raise SpecRejected(str(decoded.get("error", "bad request")))
+            if response.status == 429:
+                retry = response.getheader("Retry-After")
+                try:
+                    retry_s = float(retry) if retry else 1.0
+                except ValueError:
+                    retry_s = 1.0
+                raise Backpressure(str(decoded.get("error", "busy")),
+                                   retry_after_s=retry_s)
+            if response.status >= 500:
+                raise ServeError(
+                    f"server error {response.status}: "
+                    f"{decoded.get('error', raw[:200])}")
+            if response.status not in (200, 202):
+                raise ServeError(
+                    f"HTTP {response.status} for {method} {path}: "
+                    f"{decoded.get('error', '')}")
+            return decoded
+        finally:
+            connection.close()
+
+    # -- API --------------------------------------------------------------
+
+    def healthz(self) -> bool:
+        return bool(self._request("GET", "/healthz").get("ok"))
+
+    def stats(self) -> Dict[str, object]:
+        return self._request("GET", "/stats")
+
+    def submit(self, spec: Dict[str, object]) -> Dict[str, object]:
+        """POST a sweep spec; returns the job summary (with ``id``)."""
+        reply = self._request("POST", "/jobs", payload=spec)
+        job = reply.get("job")
+        if not isinstance(job, dict):
+            raise ServeError(f"malformed submit reply: {reply!r}")
+        return job
+
+    def submit_with_retry(self, spec: Dict[str, object],
+                          attempts: int = 60) -> Dict[str, object]:
+        """Submit, sleeping out 429s — the well-behaved-client loop."""
+        for attempt in range(max(attempts, 1)):
+            try:
+                return self.submit(spec)
+            except Backpressure as backpressure:
+                if attempt + 1 >= attempts:
+                    raise
+                time.sleep(max(backpressure.retry_after_s, 0.05))
+        raise ServeError("unreachable")  # pragma: no cover
+
+    def job(self, job_id: str) -> Dict[str, object]:
+        reply = self._request("GET", f"/jobs/{job_id}")
+        job = reply.get("job")
+        if not isinstance(job, dict):
+            raise ServeError(f"malformed job reply: {reply!r}")
+        return job
+
+    def result(self, job_id: str) -> Dict[str, object]:
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def stream(self, job_id: str) -> Iterator[Dict[str, object]]:
+        """Yield progress events (NDJSON) until the job is done."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout)
+        try:
+            try:
+                connection.request("GET", f"/jobs/{job_id}/stream")
+                response = connection.getresponse()
+            except OSError as error:
+                raise ServeUnavailable(
+                    f"cannot reach http://{self.host}:{self.port}: "
+                    f"{error}") from None
+            if response.status != 200:
+                raise ServeError(
+                    f"HTTP {response.status} for stream of {job_id}")
+            for raw in response:
+                line = raw.strip()
+                if line:
+                    yield json.loads(line.decode())
+        finally:
+            connection.close()
+
+    def wait(self, job_id: str) -> Dict[str, object]:
+        """Consume the progress stream, then return the full result."""
+        for _event in self.stream(job_id):
+            pass
+        return self.result(job_id)
+
+
+def _percentile(values: Sequence[float], fraction: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1,
+                max(0, int(round(fraction * (len(ordered) - 1)))))
+    return ordered[index]
+
+
+def generate_load(host: str, port: int, specs: Sequence[Dict[str, object]],
+                  clients: int = 4) -> Dict[str, object]:
+    """Drive the server with ``clients`` threads submitting ``specs``
+    round-robin, each streaming its job to completion.
+
+    Returns a summary: jobs completed, cells by source, backpressure
+    hits, and job-latency percentiles (milliseconds).  Used by the
+    serving bench and the CI smoke; import-safe for notebooks.
+    """
+    lock = threading.Lock()
+    latencies_ms: List[float] = []
+    outcomes: List[Dict[str, object]] = []
+    backpressured = [0]
+
+    def _drive(spec: Dict[str, object]) -> None:
+        client = ServeClient(host, port)
+        started = time.perf_counter()  # sim-lint: ignore[SIM-D004]
+        try:
+            job = client.submit_with_retry(spec)
+        except Backpressure:
+            with lock:
+                backpressured[0] += 1
+            return
+        final = client.wait(str(job["id"]))
+        elapsed_ms = \
+            (time.perf_counter() - started) * 1000.0  # sim-lint: ignore[SIM-D004]
+        with lock:
+            latencies_ms.append(elapsed_ms)
+            outcomes.append(final)
+
+    threads: List[threading.Thread] = []
+    for index, spec in enumerate(specs):
+        thread = threading.Thread(target=_drive, args=(spec,),
+                                  name=f"loadgen-{index}")
+        threads.append(thread)
+    # Release in waves of ``clients`` so concurrency is bounded like a
+    # real fleet front end, not an unbounded thundering herd.
+    for wave_start in range(0, len(threads), max(clients, 1)):
+        wave = threads[wave_start:wave_start + max(clients, 1)]
+        for thread in wave:
+            thread.start()
+        for thread in wave:
+            thread.join()
+
+    sources: Dict[str, int] = {}
+    failed = 0
+    for final in outcomes:
+        job = final.get("job")
+        if isinstance(job, dict):
+            failed += int(job.get("failed", 0) or 0)
+            job_sources = job.get("sources")
+            if isinstance(job_sources, dict):
+                for name, count in job_sources.items():
+                    sources[name] = sources.get(name, 0) + int(count)
+    return {
+        "jobs_submitted": len(specs),
+        "jobs_completed": len(outcomes),
+        "backpressured": backpressured[0],
+        "failed_cells": failed,
+        "sources": sources,
+        "job_ms_p50": round(_percentile(latencies_ms, 0.50), 3),
+        "job_ms_p90": round(_percentile(latencies_ms, 0.90), 3),
+        "job_ms_max": round(max(latencies_ms), 3) if latencies_ms else 0.0,
+    }

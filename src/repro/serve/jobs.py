@@ -1,0 +1,186 @@
+"""Job store: admission control, per-cell state, and the event log.
+
+A job is one admitted sweep spec.  Its lifecycle is
+``queued -> running -> done`` (``done`` covers partial failure — the
+per-cell records say which cells failed and why; a job never aborts as
+a whole because one worker died).  Every state change appends a JSON
+event to the job's log, and any number of stream clients replay that
+log concurrently — late subscribers see the full history, so a
+progress stream is reconnectable.
+
+Admission is the backpressure point: the store caps *active*
+(queued + running) jobs, and an admission beyond the cap raises
+:class:`Busy`, which the HTTP layer turns into ``429`` with a
+``Retry-After`` hint.  Nothing queues invisibly — a client is either
+in, or told exactly when to come back.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import itertools
+import time
+from collections import OrderedDict
+from typing import Dict, List, Optional
+
+from repro.harness.engine import Cell
+from repro.serve.spec import SweepSpec
+
+
+class Busy(RuntimeError):
+    """Admission rejected: the active-job cap is reached."""
+
+    def __init__(self, message: str, retry_after_s: float) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+@dataclasses.dataclass
+class CellRecord:
+    """One cell's serving state inside a job."""
+
+    index: int
+    cell: Cell
+    digest: str
+    status: str = "pending"            # pending | running | done | failed
+    #: How the result was obtained: ``cache`` (disk warm hit),
+    #: ``computed`` (worker pool), ``coalesced`` (joined another job's
+    #: in-flight computation).  ``None`` until resolved.
+    source: Optional[str] = None
+    ipc: Optional[float] = None
+    cycles: Optional[int] = None
+    committed: Optional[int] = None
+    sim_s: Optional[float] = None
+    #: Submit-to-result latency as seen by the server, milliseconds.
+    service_ms: Optional[float] = None
+    error: Optional[str] = None
+
+    def row(self) -> Dict[str, object]:
+        return {
+            "index": self.index,
+            "benchmark": self.cell.benchmark,
+            "label": self.cell.label,
+            "seed": self.cell.seed,
+            "n_instructions": self.cell.n_instructions,
+            "digest": self.digest,
+            "status": self.status,
+            "source": self.source,
+            "ipc": self.ipc,
+            "cycles": self.cycles,
+            "committed": self.committed,
+            "sim_s": self.sim_s,
+            "service_ms": self.service_ms,
+            "error": self.error,
+        }
+
+
+class Job:
+    """One admitted sweep: cell records plus the progress-event log."""
+
+    def __init__(self, job_id: str, spec: SweepSpec,
+                 cells: List[Cell]) -> None:
+        self.id = job_id
+        self.spec = spec
+        self.records = [CellRecord(index=i, cell=cell, digest=cell.digest())
+                        for i, cell in enumerate(cells)]
+        self.state = "queued"
+        self.created_s = time.perf_counter()  # sim-lint: ignore[SIM-D004]
+        self.finished_s: Optional[float] = None
+        self.done_cells = 0
+        self.failed_cells = 0
+        self._events: List[Dict[str, object]] = []
+        self._changed: Optional[asyncio.Condition] = None
+
+    def _condition(self) -> asyncio.Condition:
+        # Created lazily so Job can be built before a loop exists.
+        if self._changed is None:
+            self._changed = asyncio.Condition()
+        return self._changed
+
+    # -- state ------------------------------------------------------------
+
+    def summary(self) -> Dict[str, object]:
+        sources: Dict[str, int] = {}
+        for record in self.records:
+            if record.source is not None:
+                sources[record.source] = sources.get(record.source, 0) + 1
+        return {
+            "id": self.id,
+            "state": self.state,
+            "n_cells": len(self.records),
+            "done": self.done_cells,
+            "failed": self.failed_cells,
+            "sources": sources,
+            "elapsed_s": round(
+                ((self.finished_s or time.perf_counter())  # sim-lint: ignore[SIM-D004]
+                 - self.created_s), 6),
+        }
+
+    def result_rows(self) -> List[Dict[str, object]]:
+        return [record.row() for record in self.records]
+
+    # -- event log --------------------------------------------------------
+
+    async def publish(self, event: Dict[str, object]) -> None:
+        condition = self._condition()
+        async with condition:
+            self._events.append(event)
+            condition.notify_all()
+
+    async def finish(self) -> None:
+        self.state = "done"
+        self.finished_s = time.perf_counter()  # sim-lint: ignore[SIM-D004]
+        await self.publish({"event": "done", **self.summary()})
+
+    async def events_after(self, start: int) -> List[Dict[str, object]]:
+        """Events from ``start`` on, waiting if none exist yet and the
+        job is still running.  Returns ``[]`` only once the job is done
+        and the log is fully consumed."""
+        condition = self._condition()
+        async with condition:
+            while len(self._events) <= start and self.state != "done":
+                await condition.wait()
+            return list(self._events[start:])
+
+
+class JobStore:
+    """Bounded registry of jobs with FIFO retention of finished ones."""
+
+    def __init__(self, max_active: int = 8, keep_done: int = 256,
+                 retry_after_s: float = 1.0) -> None:
+        self.max_active = max(1, max_active)
+        self.keep_done = keep_done
+        self.retry_after_s = retry_after_s
+        self._jobs: "OrderedDict[str, Job]" = OrderedDict()
+        self._ids = itertools.count(1)
+        #: Admissions rejected with Busy (the backpressure counter).
+        self.rejected = 0
+
+    def active(self) -> int:
+        return sum(1 for job in self._jobs.values()
+                   if job.state != "done")
+
+    def total(self) -> int:
+        return len(self._jobs)
+
+    def admit(self, spec: SweepSpec, cells: List[Cell]) -> Job:
+        if self.active() >= self.max_active:
+            self.rejected += 1
+            raise Busy(
+                f"admission queue full ({self.max_active} active jobs)",
+                retry_after_s=self.retry_after_s)
+        job = Job(f"job-{next(self._ids):06d}", spec, cells)
+        self._jobs[job.id] = job
+        self._evict_done()
+        return job
+
+    def get(self, job_id: str) -> Optional[Job]:
+        return self._jobs.get(job_id)
+
+    def _evict_done(self) -> None:
+        done = [job_id for job_id, job in self._jobs.items()
+                if job.state == "done"]
+        excess = len(done) - self.keep_done
+        for job_id in done[:max(excess, 0)]:
+            del self._jobs[job_id]

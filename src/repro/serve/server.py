@@ -1,0 +1,376 @@
+"""The asyncio HTTP front end: jobs in, progress streams out.
+
+Stdlib only — ``asyncio.start_server`` plus a hand-rolled HTTP/1.1
+handler (request line, headers, ``Content-Length`` bodies, chunked
+responses).  One connection serves one request (``Connection: close``),
+which keeps the parser honest and the streaming path trivial.
+
+API (see ``docs/SERVING.md`` for the full contract)::
+
+    GET  /healthz            liveness
+    GET  /stats              server-wide counters (coalescing, cache,
+                             workers, backpressure)
+    POST /jobs               submit a sweep spec -> 202 {"job": {...}}
+                             400 bad spec, 429 + Retry-After when full
+    GET  /jobs/<id>          job snapshot (state + counts)
+    GET  /jobs/<id>/stream   chunked NDJSON progress events, replayed
+                             from the start, until the job is done
+    GET  /jobs/<id>/result   per-cell rows once the job is done (409
+                             while it is still running)
+
+Per-cell flow: probe the on-disk result cache inline (microseconds —
+the warm-hit path never touches a worker), else ship the cell to the
+work-stealing pool; either way the computation is wrapped in the
+single-flight table so identical cells across concurrent jobs resolve
+to one computation.  Progress events for observed cells carry the
+:mod:`repro.obs` interval sampler's tail via
+:func:`repro.obs.metrics.stream_points`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.harness.engine import CellResult, ResultCache, SweepEngine, \
+    default_cache_dir
+from repro.obs.metrics import stream_points
+from repro.serve.jobs import Busy, CellRecord, Job, JobStore
+from repro.serve.scheduler import WorkerPool
+from repro.serve.singleflight import SingleFlight
+from repro.serve.spec import SpecError, expand_cells, parse_spec
+
+_REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request",
+            404: "Not Found", 405: "Method Not Allowed", 409: "Conflict",
+            429: "Too Many Requests", 500: "Internal Server Error"}
+
+
+@dataclasses.dataclass
+class ServeConfig:
+    """Knobs for one server instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 8642                 # 0 = ephemeral (tests/benches)
+    workers: int = 2
+    #: Active (queued+running) jobs admitted before 429.
+    max_jobs: int = 8
+    #: Cells a single job may expand to (400 beyond it).
+    max_cells_per_job: int = 4096
+    #: Retry-After hint handed to backpressured clients, seconds.
+    retry_after_s: float = 1.0
+    #: Result-cache directory; ``None`` = the engine default
+    #: (REPRO_CACHE_DIR or .repro-cache).  ``no_cache`` disables disk
+    #: caching entirely — coalescing still dedupes concurrent cells.
+    cache_dir: Optional[str] = None
+    no_cache: bool = False
+    #: Interval-sampler rows per cell progress event (observed cells).
+    stream_tail: int = 16
+
+
+class ServeApp:
+    """One server: job store + single-flight table + worker pool."""
+
+    def __init__(self, config: Optional[ServeConfig] = None) -> None:
+        self.config = config if config is not None else ServeConfig()
+        cache_dir: Optional[Path]
+        if self.config.no_cache:
+            cache_dir = None
+        elif self.config.cache_dir:
+            cache_dir = Path(self.config.cache_dir)
+        else:
+            cache_dir = default_cache_dir()
+        self._cache_dir = cache_dir
+        cache = ResultCache(cache_dir) if cache_dir is not None else None
+        #: Serial engine used only for its microsecond cache probe.
+        self.engine = SweepEngine(jobs=1, cache=cache)
+        self.store = JobStore(max_active=self.config.max_jobs,
+                              retry_after_s=self.config.retry_after_s)
+        self.flights = SingleFlight()
+        self.pool = WorkerPool(workers=self.config.workers,
+                               cache_dir=cache_dir)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.port = self.config.port
+        # Serving counters (the /stats payload and the bench's inputs).
+        self.cells_requested = 0
+        self.cells_cache = 0
+        self.cells_computed = 0
+        self.cells_coalesced = 0
+        self.cells_failed = 0
+
+    # -- lifecycle --------------------------------------------------------
+
+    async def start(self) -> None:
+        await self.pool.start()
+        self._server = await asyncio.start_server(
+            self._handle_client, host=self.config.host,
+            port=self.config.port)
+        sockets = self._server.sockets or []
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self.pool.close()
+
+    # -- per-cell serving path --------------------------------------------
+
+    async def _produce(self, record: CellRecord) -> Tuple[str, CellResult]:
+        probed = self.engine.probe_cell(record.cell)
+        if probed is not None:
+            return "cache", probed
+        outcome = await self.pool.submit(record.cell)
+        return "computed", outcome
+
+    async def _run_cell(self, job: Job, record: CellRecord) -> None:
+        self.cells_requested += 1
+        record.status = "running"
+        started = time.perf_counter()  # sim-lint: ignore[SIM-D004]
+        try:
+            led, (source, outcome) = await self.flights.run(
+                record.digest, lambda: self._produce(record))
+        except Exception as error:  # noqa: BLE001 — fail the cell, not the job
+            record.status = "failed"
+            record.error = f"{type(error).__name__}: {error}"
+            record.service_ms = \
+                (time.perf_counter() - started) * 1000.0  # sim-lint: ignore[SIM-D004]
+            self.cells_failed += 1
+            job.failed_cells += 1
+        else:
+            if not led:
+                source = "coalesced"
+            stats = outcome.result.stats
+            record.status = "done"
+            record.source = source
+            record.ipc = round(outcome.ipc, 6)
+            record.cycles = stats.cycles
+            record.committed = stats.committed
+            record.sim_s = round(outcome.sim_s, 6)
+            record.service_ms = round(
+                (time.perf_counter() - started) * 1000.0, 3)  # sim-lint: ignore[SIM-D004]
+            if source == "cache":
+                self.cells_cache += 1
+            elif source == "computed":
+                self.cells_computed += 1
+            else:
+                self.cells_coalesced += 1
+            job.done_cells += 1
+        event = {"event": "cell", "job": job.id, **record.row()}
+        if record.status == "done" and outcome.obs is not None:
+            event["obs"] = {
+                "samples": len(outcome.obs.samples),
+                "tail": stream_points(outcome.obs.samples,
+                                      self.config.stream_tail),
+            }
+        await job.publish(event)
+
+    async def _run_job(self, job: Job) -> None:
+        job.state = "running"
+        await job.publish({"event": "job", **job.summary()})
+        await asyncio.gather(*[self._run_cell(job, record)
+                               for record in job.records])
+        await job.finish()
+
+    # -- HTTP plumbing ----------------------------------------------------
+
+    async def _handle_client(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        try:
+            request = await self._read_request(reader)
+            if request is None:
+                return
+            method, target, _headers, body = request
+            await self._dispatch(method, target, body, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except Exception as error:  # noqa: BLE001 — a request must not kill the server
+            try:
+                self._write_json(writer, 500,
+                                 {"error": f"{type(error).__name__}: "
+                                           f"{error}"})
+            except (ConnectionError, RuntimeError):
+                pass
+        finally:
+            try:
+                writer.close()
+            except RuntimeError:
+                pass
+
+    @staticmethod
+    async def _read_request(
+            reader: asyncio.StreamReader,
+    ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+        line = await reader.readline()
+        if not line:
+            return None
+        parts = line.decode("latin-1").split()
+        if len(parts) < 2:
+            return None
+        method, target = parts[0].upper(), parts[1]
+        headers: Dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length") or 0)
+        body = await reader.readexactly(length) if length > 0 else b""
+        return method, target, headers, body
+
+    @staticmethod
+    def _write_json(writer: asyncio.StreamWriter, status: int,
+                    payload: Dict[str, object],
+                    extra_headers: Optional[List[str]] = None) -> None:
+        body = json.dumps(payload).encode()
+        lines = [f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}",
+                 "Content-Type: application/json",
+                 f"Content-Length: {len(body)}",
+                 "Connection: close"]
+        lines.extend(extra_headers or [])
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        writer.write(head + body)
+
+    async def _dispatch(self, method: str, target: str, body: bytes,
+                        writer: asyncio.StreamWriter) -> None:
+        if target == "/healthz" and method == "GET":
+            self._write_json(writer, 200, {"ok": True})
+        elif target == "/stats" and method == "GET":
+            self._write_json(writer, 200, self.stats())
+        elif target == "/jobs" and method == "POST":
+            self._submit(body, writer)
+        elif target.startswith("/jobs/"):
+            await self._job_routes(method, target, writer)
+        else:
+            self._write_json(writer, 404, {"error": f"no route {target}"})
+        await writer.drain()
+
+    def _submit(self, body: bytes,
+                writer: asyncio.StreamWriter) -> None:
+        try:
+            payload = json.loads(body.decode() or "null")
+        except (ValueError, UnicodeDecodeError) as error:
+            self._write_json(writer, 400,
+                             {"error": f"body is not JSON: {error}"})
+            return
+        try:
+            spec = parse_spec(payload)
+        except SpecError as error:
+            self._write_json(writer, 400, {"error": str(error)})
+            return
+        if spec.n_cells > self.config.max_cells_per_job:
+            self._write_json(writer, 400, {
+                "error": f"job expands to {spec.n_cells} cells, over the "
+                         f"{self.config.max_cells_per_job}-cell cap; "
+                         "split the sweep"})
+            return
+        try:
+            job = self.store.admit(spec, expand_cells(spec))
+        except Busy as error:
+            self._write_json(
+                writer, 429, {"error": str(error),
+                              "retry_after_s": error.retry_after_s},
+                extra_headers=[
+                    f"Retry-After: {max(1, int(error.retry_after_s))}"])
+            return
+        asyncio.ensure_future(self._run_job(job))
+        self._write_json(writer, 202, {"job": job.summary()})
+
+    async def _job_routes(self, method: str, target: str,
+                          writer: asyncio.StreamWriter) -> None:
+        parts = target.strip("/").split("/")
+        job = self.store.get(parts[1]) if len(parts) >= 2 else None
+        if job is None or method != "GET":
+            status = 405 if job is not None else 404
+            self._write_json(writer, status,
+                             {"error": f"no job at {target}"})
+            return
+        tail = parts[2] if len(parts) > 2 else ""
+        if tail == "":
+            self._write_json(writer, 200, {"job": job.summary()})
+        elif tail == "stream":
+            await self._stream_job(job, writer)
+        elif tail == "result":
+            if job.state != "done":
+                self._write_json(writer, 409,
+                                 {"error": f"job {job.id} is {job.state}; "
+                                           "stream or poll until done"})
+            else:
+                self._write_json(writer, 200,
+                                 {"job": job.summary(),
+                                  "cells": job.result_rows()})
+        else:
+            self._write_json(writer, 404, {"error": f"no route {target}"})
+
+    async def _stream_job(self, job: Job,
+                          writer: asyncio.StreamWriter) -> None:
+        head = ("HTTP/1.1 200 OK\r\n"
+                "Content-Type: application/x-ndjson\r\n"
+                "Transfer-Encoding: chunked\r\n"
+                "Connection: close\r\n\r\n").encode("latin-1")
+        writer.write(head)
+        index = 0
+        while True:
+            events = await job.events_after(index)
+            if not events:
+                break
+            index += len(events)
+            for event in events:
+                data = (json.dumps(event) + "\n").encode()
+                writer.write(b"%x\r\n" % len(data) + data + b"\r\n")
+            try:
+                await writer.drain()
+            except ConnectionError:
+                return
+        writer.write(b"0\r\n\r\n")
+
+    # -- introspection ----------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        cache = self.engine.cache
+        return {
+            "jobs": {"active": self.store.active(),
+                     "total": self.store.total(),
+                     "rejected": self.store.rejected,
+                     "max_active": self.store.max_active},
+            "cells": {"requested": self.cells_requested,
+                      "cache": self.cells_cache,
+                      "computed": self.cells_computed,
+                      "coalesced": self.cells_coalesced,
+                      "failed": self.cells_failed},
+            "singleflight": {"leaders": self.flights.leaders,
+                             "joined": self.flights.joined,
+                             "inflight": self.flights.inflight()},
+            "pool": {"workers": self.pool.workers,
+                     "steals": self.pool.steals,
+                     "respawns": self.pool.respawns,
+                     "pending": self.pool.pending()},
+            "cache": {"enabled": cache is not None,
+                      "dir": str(cache.root) if cache is not None else None,
+                      "hits": cache.hits if cache is not None else 0,
+                      "misses": cache.misses if cache is not None else 0},
+        }
+
+
+def run_server(config: Optional[ServeConfig] = None) -> None:
+    """Blocking entry point for ``repro serve`` (Ctrl-C to stop)."""
+    async def _main() -> None:
+        app = ServeApp(config)
+        await app.start()
+        print(f"repro serve: http://{app.config.host}:{app.port} "
+              f"({app.pool.workers} worker(s), "
+              f"cache={'off' if app.engine.cache is None else app.engine.cache.root})")
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await app.close()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        print("repro serve: shut down")

@@ -1,0 +1,86 @@
+"""Single-flight request coalescing: one computation per cache digest.
+
+Thousands of concurrent design-space jobs overlap heavily (the
+speculative-allocation LSQ sweeps of arXiv 2311.08198 re-visit the same
+(benchmark, machine, seed) cells from every search trajectory), so the
+serving layer's throughput is decided by *dedupe*, not raw simulation
+speed.  The :class:`SingleFlight` table holds one in-flight computation
+per key — the engine's content-address digest — and every concurrent
+request for the same key awaits that computation instead of starting
+its own.  Completed cells are no longer in the table at all: they are
+served from the on-disk cache in microseconds by the next leader.
+
+The leader/joiner split is observable (``leaders``/``joined``
+counters) because the serving bench's coalescing ratio is an SLO.
+Errors propagate to every waiter: a failed flight fails every job that
+was counting on it, silently succeeding for some is not an option.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, Dict, Optional, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+class _Flight:
+    """One in-flight computation and the event its joiners wait on."""
+
+    __slots__ = ("done", "value", "error")
+
+    def __init__(self) -> None:
+        self.done = asyncio.Event()
+        self.value: Optional[object] = None
+        self.error: Optional[BaseException] = None
+
+
+class SingleFlight:
+    """Keyed coalescing table for one event loop.
+
+    ``run(key, compute)`` either starts ``compute()`` as the key's
+    leader or joins the existing flight; either way it returns the
+    leader's result (or raises the leader's error).  The table never
+    retains finished flights — retention is the disk cache's job.
+    """
+
+    def __init__(self) -> None:
+        self._flights: Dict[str, _Flight] = {}
+        #: Computations started (one per unique in-flight key).
+        self.leaders = 0
+        #: Requests that joined an existing flight instead of computing.
+        self.joined = 0
+
+    def inflight(self) -> int:
+        return len(self._flights)
+
+    async def run(self, key: str,
+                  compute: Callable[[], Awaitable[T]]) -> Tuple[bool, T]:
+        """Coalesce ``compute`` on ``key``.
+
+        Returns ``(led, value)`` where ``led`` says whether this call
+        was the leader — the serving layer uses it to classify a cell
+        as computed/cache versus coalesced.
+        """
+        existing = self._flights.get(key)
+        if existing is not None:
+            self.joined += 1
+            await existing.done.wait()
+            if existing.error is not None:
+                raise existing.error
+            return False, existing.value  # type: ignore[return-value]
+
+        flight = _Flight()
+        self._flights[key] = flight
+        self.leaders += 1
+        try:
+            value = await compute()
+        except BaseException as error:
+            flight.error = error
+            raise
+        else:
+            flight.value = value
+            return True, value
+        finally:
+            del self._flights[key]
+            flight.done.set()

@@ -1,0 +1,194 @@
+"""The sweep-spec grammar: what clients POST to ``/jobs``.
+
+A spec is a JSON object naming a (benchmarks x presets x seeds) grid —
+exactly the cell grammar of ``repro bench``, including ``litmus/...``
+benchmark names — plus run length and the validate/obs switches.  It is
+parsed and validated server-side into a frozen :class:`SweepSpec`;
+every problem is a :class:`SpecError` with a client-facing message
+(HTTP 400), never a stack trace.
+
+``expand_cells`` turns a spec into the engine's :class:`Cell` list with
+the same labels and paper port-pairing defaults as ``repro bench``, so
+a job's cells are cache-compatible with every other consumer of the
+engine — a cell simulated by the CLI is a warm hit for the server and
+vice versa (labels are excluded from the digest by design).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import base_machine
+from repro.harness.engine import Cell
+from repro.obs import ObsConfig
+from repro.workload import ALL_BENCHMARKS
+
+#: Hard ceiling on instructions per cell accepted over the wire; a
+#: single request must not be able to wedge a worker for minutes.
+MAX_INSTRUCTIONS = 200_000
+
+#: Fields a spec payload may carry; anything else is rejected loudly so
+#: a typo (``"seed"`` for ``"seeds"``) cannot silently change meaning.
+_KNOWN_FIELDS = frozenset({
+    "benchmarks", "presets", "seeds", "n_instructions", "ports",
+    "validate", "obs",
+})
+
+
+class SpecError(ValueError):
+    """A client-facing sweep-spec validation problem (HTTP 400)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepSpec:
+    """A validated sweep request: the job server's unit of admission."""
+
+    benchmarks: Tuple[str, ...]
+    presets: Tuple[str, ...]
+    seeds: Tuple[int, ...]
+    n_instructions: int = 6000
+    #: Search ports for every preset; 0 keeps the paper's pairing
+    #: (2-ported conventional/segmented vs 1-ported techniques/full).
+    ports: int = 0
+    validate: bool = False
+    #: Attach the interval sampler to every cell so the progress stream
+    #: carries per-cell IPC/occupancy time series.
+    obs: bool = False
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.benchmarks) * len(self.presets) * len(self.seeds)
+
+    def as_payload(self) -> Dict[str, object]:
+        """The JSON form a client would POST for this spec."""
+        return {
+            "benchmarks": list(self.benchmarks),
+            "presets": list(self.presets),
+            "seeds": list(self.seeds),
+            "n_instructions": self.n_instructions,
+            "ports": self.ports,
+            "validate": self.validate,
+            "obs": self.obs,
+        }
+
+
+def _require_names(payload: Dict[str, object], field: str) -> List[str]:
+    value = payload.get(field)
+    if not isinstance(value, list) or not value:
+        raise SpecError(f"'{field}' must be a non-empty list of names")
+    names = []
+    for item in value:
+        if not isinstance(item, str) or not item:
+            raise SpecError(f"'{field}' entries must be strings "
+                            f"(got {item!r})")
+        names.append(item)
+    return names
+
+
+def parse_spec(payload: object) -> SweepSpec:
+    """Validate a client payload into a :class:`SweepSpec`.
+
+    Every rejection raises :class:`SpecError` with a message precise
+    enough to fix the request; an empty grid is a rejection, never a
+    vacuously-successful job (the same rule ``repro bench`` enforces
+    for ``--expect-cached``).
+    """
+    from repro.cli import PRESETS
+
+    if not isinstance(payload, dict):
+        raise SpecError("spec must be a JSON object")
+    unknown = sorted(set(payload) - _KNOWN_FIELDS)
+    if unknown:
+        raise SpecError(f"unknown spec field(s): {', '.join(unknown)}; "
+                        f"allowed: {', '.join(sorted(_KNOWN_FIELDS))}")
+
+    benchmarks = _require_names(payload, "benchmarks")
+    for name in benchmarks:
+        if name.startswith("litmus/"):
+            from repro.litmus import parse_litmus_name
+            try:
+                parse_litmus_name(name)
+            except ValueError as error:
+                raise SpecError(str(error)) from None
+        elif name not in ALL_BENCHMARKS:
+            raise SpecError(
+                f"unknown benchmark {name!r}; choose from: "
+                f"{', '.join(ALL_BENCHMARKS)} or a litmus/... name")
+
+    presets = _require_names(payload, "presets") \
+        if "presets" in payload else ["conventional", "full"]
+    for name in presets:
+        if name not in PRESETS:
+            raise SpecError(f"unknown preset {name!r}; choose from: "
+                            f"{', '.join(sorted(PRESETS))}")
+
+    seeds_raw = payload.get("seeds", [0])
+    if not isinstance(seeds_raw, list) or not seeds_raw:
+        raise SpecError("'seeds' must be a non-empty list of integers")
+    seeds = []
+    for item in seeds_raw:
+        if isinstance(item, bool) or not isinstance(item, int):
+            raise SpecError(f"'seeds' entries must be integers "
+                            f"(got {item!r})")
+        seeds.append(item)
+
+    n_instructions = payload.get("n_instructions", 6000)
+    if isinstance(n_instructions, bool) or \
+            not isinstance(n_instructions, int) or n_instructions < 1:
+        raise SpecError("'n_instructions' must be a positive integer")
+    if n_instructions > MAX_INSTRUCTIONS:
+        raise SpecError(f"'n_instructions' capped at {MAX_INSTRUCTIONS}")
+
+    ports = payload.get("ports", 0)
+    if isinstance(ports, bool) or not isinstance(ports, int) or ports < 0:
+        raise SpecError("'ports' must be a non-negative integer "
+                        "(0 = the paper's pairing)")
+
+    for flag in ("validate", "obs"):
+        if flag in payload and not isinstance(payload[flag], bool):
+            raise SpecError(f"'{flag}' must be a boolean")
+
+    return SweepSpec(
+        benchmarks=tuple(benchmarks),
+        presets=tuple(presets),
+        seeds=tuple(seeds),
+        n_instructions=n_instructions,
+        ports=ports,
+        validate=bool(payload.get("validate", False)),
+        obs=bool(payload.get("obs", False)),
+    )
+
+
+def expand_cells(spec: SweepSpec) -> List[Cell]:
+    """A spec's cell grid, labelled exactly as ``repro bench`` labels
+    it so reports from either surface line up cell for cell."""
+    from repro.cli import BENCH_DEFAULT_PORTS, PRESETS
+
+    obs: Optional[ObsConfig] = ObsConfig() if spec.obs else None
+    cells: List[Cell] = []
+    for bench in spec.benchmarks:
+        for preset in spec.presets:
+            ports = spec.ports or BENCH_DEFAULT_PORTS.get(preset, 2)
+            machine = replace(base_machine(),
+                              lsq=PRESETS[preset](ports=ports))
+            for seed in spec.seeds:
+                cells.append(Cell(
+                    benchmark=bench, machine=machine, seed=seed,
+                    n_instructions=spec.n_instructions,
+                    validate=spec.validate,
+                    label=f"{preset}-{ports}p", obs=obs))
+    return cells
+
+
+def smoke_spec(n_instructions: int = 800) -> Dict[str, object]:
+    """The ``--smoke`` slice as a client payload (gzip,mgrid x
+    conventional,full) — what CI submits and the docs' first example."""
+    from repro.cli import SMOKE_BENCHMARKS, SMOKE_PRESETS
+    return {
+        "benchmarks": list(SMOKE_BENCHMARKS),
+        "presets": list(SMOKE_PRESETS),
+        "seeds": [0],
+        "n_instructions": n_instructions,
+    }

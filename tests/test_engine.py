@@ -128,6 +128,118 @@ class TestDiskCache:
         assert fresh.validation.checked_loads > 0
 
 
+def _open_fds():
+    return len(os.listdir("/proc/self/fd"))
+
+
+class TestStoreFaultInjection:
+    """``ResultCache.store`` must not leak the mkstemp descriptor or
+    orphan the temp file when serialization blows up mid-write."""
+
+    def _store_args(self, tmp_path):
+        engine = SweepEngine(cache=None)
+        done = engine.run_cell(cell())
+        cache = ResultCache(tmp_path / "cache")
+        return cache, cell().digest(), done
+
+    def test_pickle_failure_leaves_no_debris(self, tmp_path,
+                                             monkeypatch):
+        cache, digest, done = self._store_args(tmp_path)
+        before = _open_fds()
+
+        def boom(*_args, **_kwargs):
+            raise pickle.PicklingError("injected")
+
+        monkeypatch.setattr(pickle, "dump", boom)
+        for _ in range(20):
+            with pytest.raises(pickle.PicklingError):
+                cache.store(digest, done.result, done.sim_s,
+                            done.validation)
+        monkeypatch.undo()
+        stray = [p for p in cache.root.rglob(".tmp-*")]
+        assert stray == [], f"orphaned temp files: {stray}"
+        assert _open_fds() == before, "descriptor leak across failures"
+        # and the entry was never half-written
+        assert cache.load(digest) is None
+
+    def test_fdopen_failure_closes_raw_descriptor(self, tmp_path,
+                                                  monkeypatch):
+        cache, digest, done = self._store_args(tmp_path)
+        before = _open_fds()
+
+        def boom(*_args, **_kwargs):
+            raise OSError("injected fdopen failure")
+
+        monkeypatch.setattr(os, "fdopen", boom)
+        for _ in range(20):
+            with pytest.raises(OSError):
+                cache.store(digest, done.result, done.sim_s,
+                            done.validation)
+        monkeypatch.undo()
+        assert list(cache.root.rglob(".tmp-*")) == []
+        assert _open_fds() == before
+
+    def test_store_still_works_after_failures(self, tmp_path,
+                                              monkeypatch):
+        cache, digest, done = self._store_args(tmp_path)
+
+        def boom(*_args, **_kwargs):
+            raise pickle.PicklingError("injected")
+
+        monkeypatch.setattr(pickle, "dump", boom)
+        with pytest.raises(pickle.PicklingError):
+            cache.store(digest, done.result, done.sim_s, done.validation)
+        monkeypatch.undo()
+        cache.store(digest, done.result, done.sim_s, done.validation)
+        payload = cache.load(digest)
+        assert payload is not None
+        assert payload.result.stats == done.result.stats
+
+
+class TestConcurrentCacheWrites:
+    def test_racing_writers_both_succeed_bit_identical(self, tmp_path):
+        """Two processes released by a barrier store the same digest at
+        the same instant: both must succeed, and the surviving entry
+        must be a valid, complete pickle (atomic tempfile+rename, never
+        an in-place write)."""
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("fork")
+        engine = SweepEngine(cache=None)
+        done = engine.run_cell(cell())
+        digest = cell().digest()
+        cache_dir = tmp_path / "cache"
+        barrier = ctx.Barrier(2)
+        errors = ctx.Queue()
+
+        def writer():
+            try:
+                local = ResultCache(cache_dir)
+                barrier.wait(timeout=30)
+                for _ in range(50):
+                    local.store(digest, done.result, done.sim_s, None)
+            except BaseException as error:  # noqa: BLE001 — reported
+                errors.put(f"{type(error).__name__}: {error}")
+
+        procs = [ctx.Process(target=writer) for _ in range(2)]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(timeout=60)
+        failures = []
+        while not errors.empty():
+            failures.append(errors.get())
+        assert failures == []
+        assert all(proc.exitcode == 0 for proc in procs)
+
+        reader = ResultCache(cache_dir)
+        payload = reader.load(digest)
+        assert payload is not None
+        assert payload.result.stats == done.result.stats
+        # no temp debris survived the race
+        assert list(reader.root.rglob(".tmp-*")) == []
+
+
 class TestParallel:
     CELLS = None
 
@@ -290,6 +402,50 @@ class TestBenchDiff:
         assert module["main"]([str(old), str(new)]) == 1
         assert module["main"]([str(old), str(new),
                                "--wall-tol", "10"]) == 0
+
+    @pytest.mark.parametrize("calibration", [
+        None,          # pre-calibration baseline: field absent
+        0,             # zeroed by hand
+        "fast",        # non-numeric garbage
+        {"s": 1.0},    # wrong type entirely
+    ])
+    def test_normalize_survives_malformed_calibration(self, tmp_path,
+                                                      calibration,
+                                                      capsys):
+        """``--normalize`` against an old baseline with a missing or
+        malformed ``calibration_s`` falls back to the unnormalized
+        comparison with a warning — it must never crash the gate."""
+        import runpy
+        old_report = self._report(sim_s=1.0)
+        if calibration is not None:
+            old_report["calibration_s"] = calibration
+        new_report = self._report(sim_s=1.0)
+        new_report["calibration_s"] = 2.0
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        old.write_text(json.dumps(old_report))
+        new.write_text(json.dumps(new_report))
+        module = runpy.run_path(
+            str(REPO_ROOT / "scripts" / "bench_diff.py"))
+        assert module["main"]([str(old), str(new), "--normalize"]) == 0
+        captured = capsys.readouterr()
+        assert "--normalize ignored" in captured.err
+        # the unnormalized gate still fires on a real regression
+        worse = tmp_path / "worse.json"
+        worse.write_text(json.dumps(self._report(sim_s=5.0)))
+        assert module["main"]([str(old), str(worse),
+                               "--normalize"]) == 1
+
+    def test_non_dict_report_is_usage_error(self, tmp_path, capsys):
+        import runpy
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        old.write_text(json.dumps([1, 2, 3]))
+        new.write_text(json.dumps(self._report()))
+        module = runpy.run_path(
+            str(REPO_ROOT / "scripts" / "bench_diff.py"))
+        assert module["main"]([str(old), str(new)]) == 2
+        assert "not a report object" in capsys.readouterr().err
 
 
 @pytest.mark.slow

@@ -252,9 +252,10 @@ def test_watchdog_deadlock_carries_bundle():
 def test_cli_unknown_benchmark_exits(capsys):
     with pytest.raises(SystemExit) as excinfo:
         cli.main(["run", "nosuchbench"])
-    assert excinfo.value.code    # nonzero/propagated message
-    assert "nosuchbench" in str(excinfo.value.code)
-    assert "bzip" in str(excinfo.value.code)    # lists the choices
+    assert excinfo.value.code == cli.EXIT_USAGE
+    err = capsys.readouterr().err
+    assert "nosuchbench" in err
+    assert "bzip" in err    # lists the choices
 
 
 def test_cli_unknown_preset_exits():
@@ -263,16 +264,18 @@ def test_cli_unknown_preset_exits():
     assert excinfo.value.code == 2              # argparse choices error
 
 
-def test_cli_unknown_figure_exits():
+def test_cli_unknown_figure_exits(capsys):
     with pytest.raises(SystemExit) as excinfo:
         cli.main(["figure", "fig99"])
-    assert "fig99" in str(excinfo.value.code)
+    assert excinfo.value.code == cli.EXIT_USAGE
+    assert "fig99" in capsys.readouterr().err
 
 
-def test_cli_check_unknown_benchmark_exits():
+def test_cli_check_unknown_benchmark_exits(capsys):
     with pytest.raises(SystemExit) as excinfo:
         cli.main(["check", "nosuchbench"])
-    assert "nosuchbench" in str(excinfo.value.code)
+    assert excinfo.value.code == cli.EXIT_USAGE
+    assert "nosuchbench" in capsys.readouterr().err
 
 
 def test_cli_check_smoke(capsys):
