@@ -2,11 +2,46 @@
 
 from __future__ import annotations
 
+import hashlib
+import pathlib
+
 import pytest
 
 from repro.config import LsqConfig, MachineConfig, base_machine
 from repro.workload.isa import Instruction, OpClass
 from repro.workload.trace import Trace
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+_TRACKED_REPORTS = ("BENCH_sweep.json", "BENCH_core.json",
+                    "BENCH_service.json")
+
+
+def _report_digests():
+    digests = {}
+    for name in _TRACKED_REPORTS:
+        path = _REPO_ROOT / name
+        if path.exists():
+            digests[name] = hashlib.sha256(path.read_bytes()).hexdigest()
+    return digests
+
+
+@pytest.fixture(scope="session", autouse=True)
+def tracked_bench_reports_stay_untouched():
+    """No test may clobber a committed benchmark baseline.
+
+    A bench invocation that forgets ``-o`` (or a chdir) writes its
+    report to the repo root, silently replacing the tracked perf
+    baseline with debug output — which then gets committed.  Hash the
+    tracked reports before the session and fail loudly if any changed.
+    """
+    before = _report_digests()
+    yield
+    after = _report_digests()
+    changed = sorted(name for name in before
+                     if after.get(name) != before[name])
+    assert not changed, (
+        f"test run modified tracked benchmark report(s) {changed}; "
+        "point bench/profile output at tmp_path with -o")
 
 
 def alu(pc=0x1000, dest=1, srcs=()):

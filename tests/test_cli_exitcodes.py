@@ -101,6 +101,7 @@ def test_compare_unreadable_baseline_after_run_exits_2(tmp_path, capsys):
     garbage = tmp_path / "garbage.json"
     garbage.write_text("{not json")
     code = run_cli(["bench", "--smoke", "-n", "200", "--no-cache",
+                    "-o", str(tmp_path / "out.json"),
                     "--compare", str(garbage)])
     assert code == cli.EXIT_USAGE
     assert "cannot read" in capsys.readouterr().err
