@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""CI smoke for the fleet-telemetry layer (:mod:`repro.obs.telemetry`).
+
+Stands up a real server on an ephemeral port with a fresh temp cache,
+runs a traced smoke sweep through it, and asserts the telemetry
+contract end to end:
+
+1. the job's span tree is complete — the root ``job`` span's duration
+   equals the job's wall time and its direct children cover >= 95% of
+   it — and carries the client-supplied trace id;
+2. ``GET /metrics`` parses as Prometheus text and contains the cache,
+   coalescing, worker, and admission series;
+3. ``GET /logs`` returns structured records correlated to the job;
+4. ``repro top --once`` and ``repro timeline JOB`` exit 0, and the
+   timeline file passes the Chrome-trace validator with both server
+   spans and at least one re-simulated cell in it.
+
+Usage::
+
+    python scripts/telemetry_smoke.py
+"""
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src"))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--instructions", type=int, default=800)
+    args = parser.parse_args(argv)
+
+    import json
+    import tempfile
+    from pathlib import Path
+
+    from repro.cli import main as cli_main
+    from repro.obs.chrometrace import validate_chrome_trace_file
+    from repro.obs.telemetry import (
+        build_tree,
+        child_coverage,
+        parse_prometheus_text,
+    )
+    from repro.serve.bench import ServerHarness
+    from repro.serve.client import ServeClient
+    from repro.serve.server import ServeConfig
+    from repro.serve.spec import smoke_spec
+
+    spec = smoke_spec(args.instructions)
+    with tempfile.TemporaryDirectory(prefix="repro-tele-smoke-") as tmp:
+        config = ServeConfig(port=0, workers=2,
+                             cache_dir=str(Path(tmp) / "cache"),
+                             heartbeat_s=0.5)
+        with ServerHarness(config) as harness:
+            client = ServeClient(port=harness.port)
+            job = client.submit(spec, trace="telemetry-smoke")
+            job_id = str(job["id"])
+            final = client.wait(job_id, stall_after_s=30.0)
+
+            # 1. span-sum invariant ---------------------------------
+            reply = client.spans(job_id)
+            if reply.get("trace") != "telemetry-smoke":
+                print(f"telemetry-smoke: FAIL: trace id not propagated "
+                      f"({reply.get('trace')!r})")
+                return 1
+            tree = build_tree(reply["spans"])
+            if tree is None:
+                print("telemetry-smoke: FAIL: no job span tree")
+                return 1
+            summary = final["job"]
+            root_s = tree["duration_ms"] / 1000.0
+            if abs(root_s - float(summary["elapsed_s"])) > 1e-6:
+                print(f"telemetry-smoke: FAIL: root span {root_s}s != "
+                      f"job wall time {summary['elapsed_s']}s")
+                return 1
+            coverage = child_coverage(tree)
+            if coverage < 0.95:
+                print(f"telemetry-smoke: FAIL: direct children cover "
+                      f"{coverage:.1%} of the root span (< 95%)")
+                return 1
+            print(f"telemetry-smoke: spans ok ({len(reply['spans'])} "
+                  f"spans, root == wall time, coverage {coverage:.1%})")
+
+            # 2. /metrics -------------------------------------------
+            scrape = parse_prometheus_text(client.metrics())
+            for prefix in ("repro_cache_misses_total",
+                           "repro_coalescing_ratio",
+                           "repro_pool_worker_busy",
+                           "repro_jobs_admitted_total",
+                           "repro_http_requests_total",
+                           "repro_cell_service_ms_bucket"):
+                if not scrape.series(prefix):
+                    print(f"telemetry-smoke: FAIL: no {prefix} series "
+                          "in /metrics")
+                    return 1
+            print(f"telemetry-smoke: /metrics ok "
+                  f"({len(scrape.types)} families, "
+                  f"{len(scrape.samples)} samples)")
+
+            # 3. /logs ----------------------------------------------
+            records = client.logs(job=job_id)["records"]
+            events = {record["event"] for record in records}
+            if not {"job.start", "job.done"} <= events:
+                print(f"telemetry-smoke: FAIL: job lifecycle missing "
+                      f"from /logs (got {sorted(events)})")
+                return 1
+            print(f"telemetry-smoke: /logs ok ({len(records)} records "
+                  f"for {job_id})")
+
+            # 4. CLI verbs ------------------------------------------
+            out = str(Path(tmp) / "timeline.json")
+            for argv_cli in (
+                    ["top", "--once", "--port", str(harness.port)],
+                    ["timeline", job_id, "--port", str(harness.port),
+                     "-o", out]):
+                try:
+                    cli_main(argv_cli)
+                except SystemExit as status:
+                    if status.code:
+                        print(f"telemetry-smoke: FAIL: repro "
+                              f"{argv_cli[0]} exited {status.code}")
+                        return 1
+            problems = validate_chrome_trace_file(out)
+            if problems:
+                print("telemetry-smoke: FAIL: timeline invalid: "
+                      + "; ".join(problems[:5]))
+                return 1
+            with open(out) as handle:
+                doc = json.load(handle)
+            names = {event.get("name") for event in doc["traceEvents"]}
+            if "worker.exec" not in names:
+                print("telemetry-smoke: FAIL: no server spans in the "
+                      "timeline")
+                return 1
+            cells = (doc.get("otherData") or {}).get("cells")
+            if not cells:
+                print("telemetry-smoke: FAIL: no re-simulated cells in "
+                      "the timeline")
+                return 1
+            print(f"telemetry-smoke: timeline ok "
+                  f"({len(doc['traceEvents'])} events, cells {cells})")
+
+    print("telemetry-smoke: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,7 +34,14 @@ Commands
               (:mod:`repro.serve`): clients POST sweep specs, identical
               cells coalesce, results stream back as NDJSON.
 ``submit``    submit a sweep spec to a running server and stream the
-              job to completion.
+              job to completion (heartbeats surface stalls).
+``top``       one-screen fleet view of a running server — jobs, cache
+              and coalescing counters, per-worker busy/idle state —
+              refreshed in place (``--once`` for scripts/CI).
+``timeline``  fetch a finished job's span tree and merge it with
+              deterministic re-simulations of its cells into a single
+              Perfetto/Chrome trace: server latency attribution on top,
+              per-cell pipeline microstructure below.
 """
 
 from __future__ import annotations
@@ -649,7 +656,8 @@ def cmd_serve(args) -> None:
     run_server(ServeConfig(
         host=args.host, port=args.port, workers=args.workers,
         max_jobs=args.max_jobs, retry_after_s=args.retry_after,
-        cache_dir=args.cache_dir, no_cache=args.no_cache))
+        cache_dir=args.cache_dir, no_cache=args.no_cache,
+        heartbeat_s=args.heartbeat))
 
 
 def cmd_submit(args) -> None:
@@ -659,6 +667,7 @@ def cmd_submit(args) -> None:
     from repro.serve.client import (
         Backpressure,
         ServeClient,
+        ServeStalled,
         ServeUnavailable,
         SpecRejected,
     )
@@ -686,9 +695,14 @@ def cmd_submit(args) -> None:
         if args.ports:
             spec["ports"] = args.ports
     client = ServeClient(host=args.host, port=args.port)
+    # Client-side trace id: pid-derived, no wall clock or RNG.  It is
+    # sent as X-Repro-Trace so the server's spans and log records for
+    # this job correlate back to this invocation.
+    trace = f"cli-{os.getpid():08x}"
     try:
         job = client.submit_with_retry(
-            spec, attempts=args.retries if args.wait_busy else 1)
+            spec, attempts=args.retries if args.wait_busy else 1,
+            trace=trace)
     except SpecRejected as error:
         _usage_error(f"submit: spec rejected: {error}")
         return
@@ -701,10 +715,16 @@ def cmd_submit(args) -> None:
         print(f"submit: {error}", file=sys.stderr)
         sys.exit(EXIT_UNAVAILABLE)
     job_id = str(job["id"])
-    print(f"submit: {job_id} ({job['n_cells']} cells) -> "
+    # Stall budget: N missed heartbeats.  A healthy server heartbeats
+    # every heartbeat_s even when no cell finished, so silence longer
+    # than misses * heartbeat_s means wedged, not slow.
+    heartbeat_s = float(job.get("heartbeat_s") or 0.0)
+    stall_after_s = heartbeat_s * max(args.heartbeat_misses, 1) \
+        if heartbeat_s > 0 else None
+    print(f"submit: {job_id} ({job['n_cells']} cells, trace {trace}) -> "
           f"http://{args.host}:{args.port}/jobs/{job_id}")
     try:
-        for event in client.stream(job_id):
+        for event in client.stream(job_id, stall_after_s=stall_after_s):
             if event.get("event") == "cell":
                 status = event.get("status")
                 mark = "ok  " if status == "done" else "FAIL"
@@ -714,7 +734,16 @@ def cmd_submit(args) -> None:
                       f"IPC {event.get('ipc')} "
                       f"({event.get('source') or event.get('error')}, "
                       f"{event.get('service_ms')} ms)")
+            elif event.get("event") == "heartbeat":
+                print(f"  ...  {event.get('done')}/{event.get('n_cells')} "
+                      f"done, {event.get('pending')} queued "
+                      "(server alive)")
         final = client.result(job_id)
+    except ServeStalled as error:
+        print(f"submit: {error} — {max(args.heartbeat_misses, 1)} "
+              "heartbeats missed; the server or its workers are wedged",
+              file=sys.stderr)
+        sys.exit(EXIT_UNAVAILABLE)
     except ServeUnavailable as error:
         print(f"submit: lost the server mid-stream: {error}",
               file=sys.stderr)
@@ -731,6 +760,150 @@ def cmd_submit(args) -> None:
           f"(sources {summary['sources']}) in {summary['elapsed_s']}s")
     if int(summary.get("failed", 0) or 0):
         sys.exit(EXIT_VALIDATION)
+
+
+def _render_top(stats: Dict[str, object], host: str, port: int) -> str:
+    """Format one /stats snapshot as the ``repro top`` screen."""
+    jobs = stats.get("jobs") or {}
+    cells = stats.get("cells") or {}
+    flight = stats.get("singleflight") or {}
+    cache = stats.get("cache") or {}
+    pool = stats.get("pool") or {}
+    tele = stats.get("telemetry") or {}
+    assert isinstance(jobs, dict) and isinstance(cells, dict)
+    assert isinstance(flight, dict) and isinstance(cache, dict)
+    assert isinstance(pool, dict) and isinstance(tele, dict)
+    requested = int(cells.get("requested", 0) or 0)
+    coalesced = int(cells.get("coalesced", 0) or 0)
+    hits = int(cache.get("hits", 0) or 0)
+    misses = int(cache.get("misses", 0) or 0)
+    probes = hits + misses
+    lines = [
+        f"repro top — http://{host}:{port}",
+        f"jobs   : {jobs.get('active', 0)}/{jobs.get('max_active', 0)} "
+        f"active, {jobs.get('total', 0)} known, "
+        f"{jobs.get('rejected', 0)} rejected (429)",
+        f"cells  : {requested} requested — "
+        f"{cells.get('cache', 0)} cache, {cells.get('computed', 0)} "
+        f"computed, {coalesced} coalesced, {cells.get('failed', 0)} "
+        "failed",
+        f"flight : {flight.get('leaders', 0)} leaders, "
+        f"{flight.get('joined', 0)} joined, "
+        f"{flight.get('inflight', 0)} in flight "
+        f"(peak {flight.get('peak_inflight', 0)}); coalescing "
+        f"{(coalesced / requested) if requested else 0.0:.0%}",
+        f"cache  : {hits}/{probes} hit"
+        f" ({(hits / probes) if probes else 0.0:.0%}),"
+        f" {cache.get('stores', 0)} stores"
+        f" [{cache.get('dir') or 'disabled'}]",
+        f"spans  : {tele.get('spans_finished', 0)} finished, "
+        f"logs {tele.get('log_records', {})}, "
+        f"heartbeats {tele.get('heartbeats', 0)}",
+        "",
+        "  id state alive  backlog  done fail resp   busy_s  current",
+    ]
+    workers = pool.get("worker_state")
+    for row in workers if isinstance(workers, list) else []:
+        current = "-"
+        if row.get("state") == "busy":
+            current = (f"{row.get('benchmark')} x {row.get('label')} "
+                       f"[{row.get('digest')}]")
+        lines.append(
+            f"  {row.get('id'):>2} {str(row.get('state')):<5} "
+            f"{'yes' if row.get('alive') else 'NO ':<5} "
+            f"{row.get('backlog', 0):>7}  {row.get('done', 0):>4} "
+            f"{row.get('failed', 0):>4} {row.get('respawns', 0):>4} "
+            f"{float(row.get('busy_s', 0.0) or 0.0):>8.2f}  {current}")
+    lines.append(
+        f"\npool   : {pool.get('pending', 0)} pending, "
+        f"{pool.get('steals', 0)} steals, "
+        f"{pool.get('respawns', 0)} respawns")
+    return "\n".join(lines)
+
+
+def cmd_top(args) -> None:
+    """Live (or one-shot) fleet view rendered from ``GET /stats``."""
+    import time as _time
+
+    from repro.serve.client import ServeClient, ServeUnavailable
+    client = ServeClient(host=args.host, port=args.port)
+    while True:
+        try:
+            stats = client.stats()
+        except ServeUnavailable as error:
+            print(f"top: {error}", file=sys.stderr)
+            sys.exit(EXIT_UNAVAILABLE)
+        screen = _render_top(stats, args.host, args.port)
+        if args.once:
+            print(screen)
+            return
+        # Clear + home, then redraw — flicker-free enough for a tty.
+        print("\x1b[2J\x1b[H" + screen, flush=True)
+        _time.sleep(max(args.interval, 0.2))
+
+
+def cmd_timeline(args) -> None:
+    """Merge a finished job's spans with re-simulated cell traces into
+    one Perfetto/Chrome trace file."""
+    import json
+
+    from repro.obs.chrometrace import write_chrome_trace
+    from repro.obs.telemetry.timeline import (
+        merge_timeline,
+        resimulate_cell_trace,
+    )
+    from repro.serve.client import ServeClient, ServeError, ServeUnavailable
+
+    client = ServeClient(host=args.host, port=args.port)
+    try:
+        job = client.job(args.job_id)
+        if job.get("state") != "done":
+            print(f"timeline: {args.job_id} is {job.get('state')}; "
+                  "wait for it to finish", file=sys.stderr)
+            sys.exit(EXIT_VALIDATION)
+        spans_reply = client.spans(args.job_id)
+        result = client.result(args.job_id)
+    except ServeUnavailable as error:
+        print(f"timeline: {error}", file=sys.stderr)
+        sys.exit(EXIT_UNAVAILABLE)
+    except ServeError as error:
+        print(f"timeline: {error}", file=sys.stderr)
+        sys.exit(EXIT_VALIDATION)
+    spans = spans_reply.get("spans")
+    if not isinstance(spans, list) or not spans:
+        print(f"timeline: no spans retained for {args.job_id} "
+              "(server restarted?)", file=sys.stderr)
+        sys.exit(EXIT_VALIDATION)
+    rows = result.get("cells")
+    assert isinstance(rows, list)
+    done_rows = [row for row in rows if row.get("status") == "done"]
+    # Prefer cells that actually executed here — their worker.exec
+    # window is real wall time; cache hits only have the probe.
+    done_rows.sort(key=lambda row: 0 if row.get("source") == "computed"
+                   else 1)
+    picked = done_rows[:max(args.cells, 1)]
+    cell_traces = []
+    for row in picked:
+        try:
+            doc = resimulate_cell_trace(row, pipetrace=args.pipetrace)
+        except ValueError as error:
+            print(f"timeline: skipping cell {row.get('index')}: {error}",
+                  file=sys.stderr)
+            continue
+        cell_traces.append((int(str(row.get("index"))), doc))
+    summary = result.get("job")
+    assert isinstance(summary, dict)
+    try:
+        doc = merge_timeline(summary, spans, cell_traces)
+    except ValueError as error:
+        print(f"timeline: {error}", file=sys.stderr)
+        sys.exit(EXIT_VALIDATION)
+    output = args.output or f"timeline-{args.job_id}.json"
+    write_chrome_trace(output, doc)
+    n_events = len(doc["traceEvents"])
+    print(f"timeline: {args.job_id}: {len(spans)} spans + "
+          f"{len(cell_traces)} re-simulated cells -> {output} "
+          f"({n_events} events; open in https://ui.perfetto.dev)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -966,6 +1139,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable the on-disk result cache "
                             "(coalescing still dedupes concurrent "
                             "cells)")
+    serve.add_argument("--heartbeat", type=float, default=2.0,
+                       help="stream heartbeat interval, seconds "
+                            "(default 2; 0 disables)")
     serve.set_defaults(func=cmd_serve)
 
     submit = sub.add_parser(
@@ -1002,7 +1178,39 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default 60)")
     submit.add_argument("-o", "--output", default=None,
                         help="also write the full result JSON here")
+    submit.add_argument("--heartbeat-misses", type=int, default=3,
+                        dest="heartbeat_misses",
+                        help="consecutive missed heartbeats before the "
+                             "stream is declared stalled (default 3)")
     submit.set_defaults(func=cmd_submit)
+
+    top = sub.add_parser(
+        "top", help="live per-worker fleet view of a running server")
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=int, default=8642)
+    top.add_argument("--once", action="store_true",
+                     help="print one snapshot and exit (scripts/CI)")
+    top.add_argument("--interval", type=float, default=1.0,
+                     help="refresh interval, seconds (default 1)")
+    top.set_defaults(func=cmd_top)
+
+    timeline = sub.add_parser(
+        "timeline", help="merge a finished job's span tree with "
+                         "re-simulated cell pipeline traces into one "
+                         "Perfetto/Chrome trace")
+    timeline.add_argument("job_id", help="job id (e.g. job-000001)")
+    timeline.add_argument("--host", default="127.0.0.1")
+    timeline.add_argument("--port", type=int, default=8642)
+    timeline.add_argument("--cells", type=int, default=2,
+                          help="cells to re-simulate into the timeline "
+                               "(default 2; computed cells first)")
+    timeline.add_argument("--pipetrace", type=int, default=48,
+                          help="instructions of pipeline diagram per "
+                               "cell (default 48)")
+    timeline.add_argument("-o", "--output", default=None,
+                          help="output file (default "
+                               "timeline-<job>.json)")
+    timeline.set_defaults(func=cmd_timeline)
     return parser
 
 

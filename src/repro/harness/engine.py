@@ -191,6 +191,10 @@ class CellResult:
     validation: Optional[ValidationSummary] = None
     #: Observability summary when the cell requested instrumentation.
     obs: Optional[ObsSummary] = None
+    #: True when the run executed under cProfile.  Profiler overhead
+    #: inflates ``sim_s`` severely, so profiled results are never
+    #: cached and the perf gate skips their timings.
+    profiled: bool = False
 
     @property
     def ipc(self) -> float:
@@ -220,28 +224,40 @@ class ResultCache:
         self.root = Path(root) if root is not None else default_cache_dir()
         self.hits = 0
         self.misses = 0
+        #: Results written by this process.
+        self.stores = 0
+        # Cumulative probe/store latency, seconds — the telemetry
+        # layer's cache latency series read these.
+        self.hit_s = 0.0
+        self.miss_s = 0.0
+        self.store_s = 0.0
 
     def path_for(self, digest: str) -> Path:
         return self.root / digest[:2] / f"{digest}.pkl"
 
     def load(self, digest: str) -> Optional[_StoredPayload]:
+        started = time.perf_counter()  # sim-lint: ignore[SIM-D004]
         try:
             with open(self.path_for(digest), "rb") as handle:
                 payload = pickle.load(handle)
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
                 ImportError, IndexError):
             self.misses += 1
+            self.miss_s += time.perf_counter() - started  # sim-lint: ignore[SIM-D004]
             return None
         if not isinstance(payload, _StoredPayload) \
                 or payload.schema != CACHE_SCHEMA:
             self.misses += 1
+            self.miss_s += time.perf_counter() - started  # sim-lint: ignore[SIM-D004]
             return None
         self.hits += 1
+        self.hit_s += time.perf_counter() - started  # sim-lint: ignore[SIM-D004]
         return payload
 
     def store(self, digest: str, result: SimulationResult, sim_s: float,
               validation: Optional[ValidationSummary],
               obs: Optional[ObsSummary] = None) -> None:
+        started = time.perf_counter()  # sim-lint: ignore[SIM-D004]
         path = self.path_for(digest)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = _StoredPayload(schema=CACHE_SCHEMA, result=result,
@@ -255,6 +271,8 @@ class ResultCache:
             pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
             handle.close()
             os.replace(tmp_name, path)
+            self.stores += 1
+            self.store_s += time.perf_counter() - started  # sim-lint: ignore[SIM-D004]
         except BaseException:
             try:
                 os.unlink(tmp_name)
@@ -453,6 +471,7 @@ def sweep_report(results: Sequence[CellResult], *, jobs: int,
             "cached": item.cached,
             "validated": item.validation is not None,
             "traced": item.obs is not None,
+            "profiled": item.profiled,
         })
     simulated = sum(1 for item in results if not item.cached)
     report: Dict[str, object] = {
@@ -600,7 +619,8 @@ def profile_cell(cell: Cell,
         })
     cell_result = CellResult(cell=cell, result=result, sim_s=sim_s,
                              wall_s=wall_s, cached=False,
-                             validation=validation, obs=obs)
+                             validation=validation, obs=obs,
+                             profiled=True)
     return cell_result, rows
 
 
@@ -648,11 +668,17 @@ def diff_reports(old: Dict[str, object], new: Dict[str, object], *,
             continue
         matched += 1
         tag = "/".join(str(part) for part in key)
+        # A row measured under cProfile carries profiler-skewed sim_s;
+        # its timing is not comparable in either direction (IPC still
+        # is — profiling does not change the simulated machine).
+        timing_ok = not (bool(old_cell.get("profiled"))
+                         or bool(new_cell.get("profiled")))
         old_sim = float(old_cell.get("sim_s", 0.0) or 0.0)  # type: ignore[arg-type]
         new_sim = float(new_cell.get("sim_s", 0.0) or 0.0)  # type: ignore[arg-type]
-        old_total += old_sim
-        new_total += new_sim
-        if not aggregate_wall and old_sim > 0 and \
+        if timing_ok:
+            old_total += old_sim
+            new_total += new_sim
+        if timing_ok and not aggregate_wall and old_sim > 0 and \
                 new_sim > old_sim * (1.0 + wall_tol):
             problems.append(
                 f"{tag}: sim time {old_sim:.3f}s -> {new_sim:.3f}s "

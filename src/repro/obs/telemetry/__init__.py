@@ -1,0 +1,71 @@
+"""Fleet telemetry primitives: spans, metrics, structured logs.
+
+:mod:`repro.obs` watches one simulated core; this package watches the
+fleet that runs thousands of them.  Three stdlib-only building blocks,
+assembled by the serve stack (``repro.serve.telemetry``):
+
+* :mod:`~repro.obs.telemetry.spans` — context-propagated span trees
+  whose root duration equals a job's wall time (latency attribution
+  with the CPI stack's "sums exactly" discipline);
+* :mod:`~repro.obs.telemetry.registry` — counters / gauges /
+  fixed-bucket histograms rendered as (and re-parsed from) Prometheus
+  text exposition;
+* :mod:`~repro.obs.telemetry.logs` — a bounded ring of structured JSON
+  records with trace/job/cell correlation ids;
+* :mod:`~repro.obs.telemetry.timeline` — the unified Perfetto export
+  merging server spans with re-simulated per-cell pipeline traces.
+
+See ``docs/TELEMETRY.md`` for the span model and the metric catalog.
+"""
+
+from repro.obs.telemetry.logs import LogRing
+from repro.obs.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_BUCKETS_MS,
+    MetricsRegistry,
+    PROBE_BUCKETS_MS,
+    ParsedScrape,
+    parse_prometheus_text,
+)
+from repro.obs.telemetry.spans import (
+    CURRENT_SPAN,
+    Span,
+    SpanTracer,
+    TRACE_HEADER,
+    build_tree,
+    child_coverage,
+    format_trace_header,
+    parse_trace_header,
+    walk,
+)
+from repro.obs.telemetry.timeline import (
+    merge_timeline,
+    resimulate_cell_trace,
+    span_slices,
+)
+
+__all__ = [
+    "CURRENT_SPAN",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS_MS",
+    "LogRing",
+    "MetricsRegistry",
+    "PROBE_BUCKETS_MS",
+    "ParsedScrape",
+    "Span",
+    "SpanTracer",
+    "TRACE_HEADER",
+    "build_tree",
+    "child_coverage",
+    "format_trace_header",
+    "merge_timeline",
+    "parse_prometheus_text",
+    "parse_trace_header",
+    "resimulate_cell_trace",
+    "span_slices",
+    "walk",
+]

@@ -18,9 +18,13 @@ from __future__ import annotations
 
 import http.client
 import json
+import socket
 import threading
 import time
+import urllib.parse
 from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.obs.telemetry import TRACE_HEADER
 
 
 class ServeError(RuntimeError):
@@ -29,6 +33,13 @@ class ServeError(RuntimeError):
 
 class ServeUnavailable(ServeError):
     """The server cannot be reached (connection refused / dropped)."""
+
+
+class ServeStalled(ServeError):
+    """A progress stream went silent past the stall budget — no events
+    *and* no heartbeats for ``stall_after_s`` seconds, which means the
+    server is wedged or the connection is dead (a healthy server emits
+    a heartbeat every ``heartbeat_s``)."""
 
 
 class SpecRejected(ServeError):
@@ -56,14 +67,16 @@ class ServeClient:
 
     def _request(self, method: str, path: str,
                  payload: Optional[Dict[str, object]] = None,
+                 headers: Optional[Dict[str, str]] = None,
                  ) -> Dict[str, object]:
         connection = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout)
         try:
             body = json.dumps(payload).encode() if payload is not None \
                 else None
-            headers = {"Content-Type": "application/json"} \
-                if body is not None else {}
+            headers = dict(headers or {})
+            if body is not None:
+                headers["Content-Type"] = "application/json"
             try:
                 connection.request(method, path, body=body, headers=headers)
                 response = connection.getresponse()
@@ -106,20 +119,69 @@ class ServeClient:
     def stats(self) -> Dict[str, object]:
         return self._request("GET", "/stats")
 
-    def submit(self, spec: Dict[str, object]) -> Dict[str, object]:
-        """POST a sweep spec; returns the job summary (with ``id``)."""
-        reply = self._request("POST", "/jobs", payload=spec)
+    def metrics(self) -> str:
+        """Raw Prometheus text from ``GET /metrics``."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout)
+        try:
+            try:
+                connection.request("GET", "/metrics")
+                response = connection.getresponse()
+                raw = response.read()
+            except OSError as error:
+                raise ServeUnavailable(
+                    f"cannot reach http://{self.host}:{self.port}: "
+                    f"{error}") from None
+            if response.status != 200:
+                raise ServeError(f"HTTP {response.status} for /metrics")
+            return raw.decode()
+        finally:
+            connection.close()
+
+    def spans(self, job_id: str) -> Dict[str, object]:
+        """The job's span records and (once done) its span tree."""
+        return self._request("GET", f"/jobs/{job_id}/spans")
+
+    def logs(self, job: Optional[str] = None,
+             level: Optional[str] = None,
+             limit: int = 200) -> Dict[str, object]:
+        """Structured log records from the server's bounded ring."""
+        params = {"limit": str(limit)}
+        if job is not None:
+            params["job"] = job
+        if level is not None:
+            params["level"] = level
+        return self._request(
+            "GET", "/logs?" + urllib.parse.urlencode(params))
+
+    def submit(self, spec: Dict[str, object],
+               trace: Optional[str] = None) -> Dict[str, object]:
+        """POST a sweep spec; returns the job summary (with ``id``).
+
+        ``trace`` joins the job to a client-side trace: it is sent as
+        the ``X-Repro-Trace`` header and the server parents its spans
+        under it.  The reply's ``heartbeat_s`` (the server's stream
+        heartbeat interval) is attached to the returned summary so
+        callers can size a stall timeout.
+        """
+        headers = {TRACE_HEADER: trace} if trace else None
+        reply = self._request("POST", "/jobs", payload=spec,
+                              headers=headers)
         job = reply.get("job")
         if not isinstance(job, dict):
             raise ServeError(f"malformed submit reply: {reply!r}")
+        if "heartbeat_s" in reply:
+            job.setdefault("heartbeat_s", reply["heartbeat_s"])
         return job
 
     def submit_with_retry(self, spec: Dict[str, object],
-                          attempts: int = 60) -> Dict[str, object]:
+                          attempts: int = 60,
+                          trace: Optional[str] = None,
+                          ) -> Dict[str, object]:
         """Submit, sleeping out 429s — the well-behaved-client loop."""
         for attempt in range(max(attempts, 1)):
             try:
-                return self.submit(spec)
+                return self.submit(spec, trace=trace)
             except Backpressure as backpressure:
                 if attempt + 1 >= attempts:
                     raise
@@ -136,10 +198,20 @@ class ServeClient:
     def result(self, job_id: str) -> Dict[str, object]:
         return self._request("GET", f"/jobs/{job_id}/result")
 
-    def stream(self, job_id: str) -> Iterator[Dict[str, object]]:
-        """Yield progress events (NDJSON) until the job is done."""
+    def stream(self, job_id: str,
+               stall_after_s: Optional[float] = None,
+               ) -> Iterator[Dict[str, object]]:
+        """Yield progress events (NDJSON) until the job is done.
+
+        ``stall_after_s`` bounds the silence between consecutive lines
+        (events *or* heartbeats); exceeding it raises
+        :class:`ServeStalled`.  Size it as N missed heartbeats:
+        ``misses * heartbeat_s`` from the submit reply.
+        """
+        timeout = self.timeout if stall_after_s is None \
+            else max(stall_after_s, 0.05)
         connection = http.client.HTTPConnection(
-            self.host, self.port, timeout=self.timeout)
+            self.host, self.port, timeout=timeout)
         try:
             try:
                 connection.request("GET", f"/jobs/{job_id}/stream")
@@ -151,16 +223,22 @@ class ServeClient:
             if response.status != 200:
                 raise ServeError(
                     f"HTTP {response.status} for stream of {job_id}")
-            for raw in response:
-                line = raw.strip()
-                if line:
-                    yield json.loads(line.decode())
+            try:
+                for raw in response:
+                    line = raw.strip()
+                    if line:
+                        yield json.loads(line.decode())
+            except socket.timeout:  # 3.9-compatible (TimeoutError in 3.10+)
+                raise ServeStalled(
+                    f"stream of {job_id} silent for {timeout:.1f}s "
+                    "(no events, no heartbeats)") from None
         finally:
             connection.close()
 
-    def wait(self, job_id: str) -> Dict[str, object]:
+    def wait(self, job_id: str,
+             stall_after_s: Optional[float] = None) -> Dict[str, object]:
         """Consume the progress stream, then return the full result."""
-        for _event in self.stream(job_id):
+        for _event in self.stream(job_id, stall_after_s=stall_after_s):
             pass
         return self.result(job_id)
 

@@ -87,6 +87,12 @@ class Job:
         self.state = "queued"
         self.created_s = time.perf_counter()  # sim-lint: ignore[SIM-D004]
         self.finished_s: Optional[float] = None
+        #: Trace id correlating this job's spans and log records
+        #: (client-supplied via ``X-Repro-Trace`` or server-minted).
+        self.trace_id: Optional[str] = None
+        #: The job's root span (owned by the server's tracer); typed
+        #: loosely so the job store stays import-light.
+        self.root_span: Optional[object] = None
         self.done_cells = 0
         self.failed_cells = 0
         self._events: List[Dict[str, object]] = []
@@ -108,6 +114,7 @@ class Job:
         return {
             "id": self.id,
             "state": self.state,
+            "trace": self.trace_id,
             "n_cells": len(self.records),
             "done": self.done_cells,
             "failed": self.failed_cells,

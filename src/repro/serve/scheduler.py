@@ -29,9 +29,15 @@ import asyncio
 import itertools
 import os
 import threading
+import time
 from collections import deque
 from pathlib import Path
-from typing import Any, Deque, Dict, List, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+#: Called (in the event loop) the moment a task is handed to a worker:
+#: ``(worker_id, stolen)``.  The serving layer uses it to split a
+#: cell's latency into queue-wait and worker-execution spans.
+DispatchFn = Callable[[int, bool], None]
 
 from repro.harness.engine import Cell, CellResult
 
@@ -73,14 +79,21 @@ def _worker_main(worker_id: int, task_queue: Any, result_queue: Any,
 
 
 class _Task:
-    __slots__ = ("task_id", "cell", "future", "home")
+    __slots__ = ("task_id", "cell", "future", "home", "digest",
+                 "on_dispatch", "dispatched_s")
 
     def __init__(self, task_id: int, cell: Cell,
-                 future: "asyncio.Future[CellResult]", home: int) -> None:
+                 future: "asyncio.Future[CellResult]", home: int,
+                 digest: str,
+                 on_dispatch: Optional[DispatchFn] = None) -> None:
         self.task_id = task_id
         self.cell = cell
         self.future = future
         self.home = home
+        self.digest = digest
+        self.on_dispatch = on_dispatch
+        #: perf_counter() when the task was handed to a worker.
+        self.dispatched_s: Optional[float] = None
 
 
 class WorkerPool:
@@ -117,6 +130,12 @@ class WorkerPool:
         self.steals = 0
         #: Workers respawned after a crash.
         self.respawns = 0
+        # Per-worker telemetry (indexed by worker id; survives respawns
+        # — a respawned worker keeps its slot's history).
+        self.worker_done: List[int] = [0] * self.workers
+        self.worker_failed: List[int] = [0] * self.workers
+        self.worker_respawns: List[int] = [0] * self.workers
+        self.worker_busy_s: List[float] = [0.0] * self.workers
 
     # -- lifecycle --------------------------------------------------------
 
@@ -167,17 +186,24 @@ class WorkerPool:
 
     # -- submission and dispatch ------------------------------------------
 
-    async def submit(self, cell: Cell) -> CellResult:
+    async def submit(self, cell: Cell,
+                     on_dispatch: Optional[DispatchFn] = None,
+                     ) -> CellResult:
         """Queue one cell; resolves when a worker finishes it.
 
-        Raises :class:`WorkerCrash` if the assigned worker dies
-        mid-computation, :class:`CellFailed` if the cell itself raised.
+        ``on_dispatch`` (if given) fires in the event loop the moment
+        the task leaves the backlog for a worker — the queue-wait /
+        execution boundary.  Raises :class:`WorkerCrash` if the
+        assigned worker dies mid-computation, :class:`CellFailed` if
+        the cell itself raised.
         """
         if self._loop is None:
             raise RuntimeError("WorkerPool.start() has not run")
-        home = int(cell.digest()[:8], 16) % self.workers
+        digest = cell.digest()
+        home = int(digest[:8], 16) % self.workers
         task = _Task(next(self._ids), cell,
-                     self._loop.create_future(), home)
+                     self._loop.create_future(), home, digest,
+                     on_dispatch=on_dispatch)
         self._backlog[home].append(task)
         self._pump()
         return await task.future
@@ -185,6 +211,36 @@ class WorkerPool:
     def pending(self) -> int:
         return sum(len(backlog) for backlog in self._backlog) \
             + len(self._inflight)
+
+    def backlogs(self) -> List[int]:
+        """Queued (not yet dispatched) tasks per worker."""
+        return [len(backlog) for backlog in self._backlog]
+
+    def worker_rows(self) -> List[Dict[str, object]]:
+        """Per-worker state for ``/stats`` and the metrics mirrors."""
+        rows: List[Dict[str, object]] = []
+        for worker_id in range(self.workers):
+            process = self._procs[worker_id]
+            task = self._inflight.get(worker_id)
+            busy_s = self.worker_busy_s[worker_id]
+            if task is not None and task.dispatched_s is not None:
+                now_s = time.perf_counter()  # sim-lint: ignore[SIM-D004]
+                busy_s += now_s - task.dispatched_s
+            rows.append({
+                "id": worker_id,
+                "alive": bool(process is not None and process.is_alive()),
+                "state": "busy" if task is not None else "idle",
+                "digest": task.digest[:12] if task is not None else None,
+                "benchmark": (task.cell.benchmark
+                              if task is not None else None),
+                "label": task.cell.label if task is not None else None,
+                "done": self.worker_done[worker_id],
+                "failed": self.worker_failed[worker_id],
+                "respawns": self.worker_respawns[worker_id],
+                "busy_s": round(busy_s, 6),
+                "backlog": len(self._backlog[worker_id]),
+            })
+        return rows
 
     def _pump(self) -> None:
         """Hand every idle worker its next task (own queue first, then
@@ -197,7 +253,11 @@ class WorkerPool:
             if task is None:
                 continue
             self._inflight[worker_id] = task
+            task.dispatched_s = \
+                time.perf_counter()  # sim-lint: ignore[SIM-D004]
             self._task_queues[worker_id].put((task.task_id, task.cell))
+            if task.on_dispatch is not None:
+                task.on_dispatch(worker_id, worker_id != task.home)
 
     def _next_task(self, worker_id: int) -> Optional[_Task]:
         own = self._backlog[worker_id]
@@ -240,12 +300,17 @@ class WorkerPool:
             self._pump()
             return
         del self._inflight[worker_id]
+        if task.dispatched_s is not None:
+            self.worker_busy_s[worker_id] += \
+                time.perf_counter() - task.dispatched_s  # sim-lint: ignore[SIM-D004]
         if not task.future.done():
             if ok:
                 self.computed += 1
+                self.worker_done[worker_id] += 1
                 task.future.set_result(payload)
             else:
                 self.failed += 1
+                self.worker_failed[worker_id] += 1
                 task.future.set_exception(CellFailed(str(payload)))
         self._pump()
 
@@ -261,6 +326,10 @@ class WorkerPool:
                 task = self._inflight.pop(worker_id, None)
                 if task is not None:
                     self.failed += 1
+                    self.worker_failed[worker_id] += 1
+                    if task.dispatched_s is not None:
+                        self.worker_busy_s[worker_id] += \
+                            time.perf_counter() - task.dispatched_s  # sim-lint: ignore[SIM-D004]
                     if not task.future.done():
                         task.future.set_exception(WorkerCrash(
                             f"worker {worker_id} died (exit {exitcode}) "
@@ -268,5 +337,6 @@ class WorkerPool:
                             f"{task.cell.label or 'cell'} "
                             f"seed {task.cell.seed}"))
                 self.respawns += 1
+                self.worker_respawns[worker_id] += 1
                 self._spawn(worker_id)
                 self._pump()

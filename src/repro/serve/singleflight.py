@@ -50,6 +50,10 @@ class SingleFlight:
         self.leaders = 0
         #: Requests that joined an existing flight instead of computing.
         self.joined = 0
+        #: High-water mark of concurrently in-flight keys — the
+        #: telemetry layer exports it; a table that never grows past 1
+        #: means the fleet is serializing, not coalescing.
+        self.peak_inflight = 0
 
     def inflight(self) -> int:
         return len(self._flights)
@@ -73,6 +77,8 @@ class SingleFlight:
         flight = _Flight()
         self._flights[key] = flight
         self.leaders += 1
+        if len(self._flights) > self.peak_inflight:
+            self.peak_inflight = len(self._flights)
         try:
             value = await compute()
         except BaseException as error:

@@ -133,6 +133,40 @@ def test_suite_runs_through_squash_recovery():
     assert predictor.violation_squashes > 0
 
 
+@pytest.mark.slow
+def test_served_cell_matches_golden_digest(tmp_path):
+    """Telemetry parity: a cell served through the fully instrumented
+    server (spans, metrics, logs, heartbeats all live) must produce the
+    exact golden SimStats digest — observation cannot perturb the
+    simulated machine."""
+    from repro.harness.engine import ResultCache
+    from repro.serve.bench import ServerHarness
+    from repro.serve.client import ServeClient
+    from repro.serve.server import ServeConfig
+    from repro.serve.spec import expand_cells, parse_spec
+
+    spec = parse_spec({"benchmarks": ["gcc"],
+                       "presets": ["conventional"], "seeds": [0],
+                       "n_instructions": N_INSTRUCTIONS})
+    (cell,) = expand_cells(spec)
+    assert cell.label == "conventional-2p"
+    cache_dir = tmp_path / "cache"
+    config = ServeConfig(port=0, workers=1, cache_dir=str(cache_dir),
+                         heartbeat_s=0.25)
+    with ServerHarness(config) as harness:
+        client = ServeClient(port=harness.port)
+        job = client.submit(spec.as_payload(), trace="parity")
+        final = client.wait(str(job["id"]), stall_after_s=60.0)
+    (row,) = final["cells"]
+    assert row["status"] == "done" and row["digest"] == cell.digest()
+    payload = ResultCache(cache_dir).load(cell.digest())
+    assert payload is not None, "served cell never reached the cache"
+    assert stats_digest(payload.result.stats) == \
+        GOLDEN_DIGESTS[("gcc", 0, "conventional-2p")], (
+        "serving a cell through the telemetry-instrumented stack "
+        "changed its SimStats — observation must be side-effect-free")
+
+
 def test_canonical_stats_is_stable_and_complete():
     stats = SimStats()
     stats.cycles = 7
