@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Cross-backend golden parity: every preset, both engines, one digest.
+
+The ``fast-parity`` CI job runs this script.  For each (benchmark, seed,
+preset) cell of the golden-parity suite it simulates under
+``backend=python`` and ``backend=fast`` and requires bit-identical
+canonical-stats digests; any drift prints the first differing counters
+and exits 1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import asdict, replace
+
+sys.path.insert(0, "src")
+
+from repro.config import base_machine  # noqa: E402
+from repro.pipeline.processor import simulate  # noqa: E402
+from repro.stats.counters import stats_digest  # noqa: E402
+from repro.workload import generate_trace  # noqa: E402
+
+sys.path.insert(0, "tests")
+from test_golden_parity import (  # noqa: E402
+    GOLDEN_DIGESTS,
+    N_INSTRUCTIONS,
+    PRESETS,
+)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--benchmarks", nargs="*",
+                        default=["gcc", "mgrid", "wupwise"])
+    parser.add_argument("--seeds", nargs="*", type=int, default=[0, 1])
+    args = parser.parse_args()
+
+    failures = 0
+    for bench in args.benchmarks:
+        for seed in args.seeds:
+            trace = generate_trace(bench, n_instructions=N_INSTRUCTIONS,
+                                   seed=seed)
+            for preset, make_lsq in PRESETS.items():
+                digests = {}
+                stats = {}
+                for backend in ("python", "fast"):
+                    machine = replace(base_machine(), lsq=make_lsq(),
+                                      backend=backend)
+                    result = simulate(trace, machine)
+                    digests[backend] = stats_digest(result.stats)
+                    stats[backend] = asdict(result.stats)
+                key = (bench, seed, preset)
+                golden = GOLDEN_DIGESTS.get(key)
+                ok = digests["python"] == digests["fast"]
+                if ok and golden is not None:
+                    ok = digests["fast"] == golden
+                if ok:
+                    print(f"ok   {bench} seed={seed} {preset} "
+                          f"{digests['fast'][:12]}")
+                    continue
+                failures += 1
+                print(f"FAIL {bench} seed={seed} {preset}: "
+                      f"python={digests['python'][:12]} "
+                      f"fast={digests['fast'][:12]} "
+                      f"golden={(golden or 'n/a')[:12]}")
+                for field in sorted(stats["python"]):
+                    a, b = stats["python"][field], stats["fast"][field]
+                    if a != b:
+                        print(f"     {field}: python={a} fast={b}")
+    if failures:
+        print(f"{failures} cell(s) diverged")
+        return 1
+    print("all cells bit-identical across backends")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,13 @@
+"""``repro.fastcore`` — the ``backend=fast`` simulation engine.
+
+An opt-in second engine for the cycle loop, selected via
+``MachineConfig.backend``.  Same six-stage model, same modeled charges,
+bit-identical ``SimStats`` — enforced by the golden-parity suite and the
+``fast-parity`` CI job — but with struct-of-arrays hot-path state and
+O(1) idle-cycle skipping.  See :mod:`repro.fastcore.engine` and the
+"Backends" section of ``docs/PERFORMANCE.md``.
+"""
+
+from repro.fastcore.engine import FastProcessor
+
+__all__ = ["FastProcessor"]

@@ -10,6 +10,7 @@ with a ``format()`` text rendering that mirrors the paper's rows/series.
 from repro.harness.engine import (
     Cell,
     CellResult,
+    ReportBackendMismatch,
     ResultCache,
     SweepEngine,
     sweep_report,
@@ -25,6 +26,7 @@ __all__ = [
     "Cell",
     "CellResult",
     "ExperimentRunner",
+    "ReportBackendMismatch",
     "ResultCache",
     "SweepEngine",
     "default_instructions",

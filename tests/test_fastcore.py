@@ -1,0 +1,145 @@
+"""Cross-backend contract tests for :mod:`repro.fastcore`.
+
+The fast engine's whole promise is *bit-identical* ``SimStats`` — the
+golden-digest suite pins that over the fixed (benchmark, seed, preset)
+grid, while this module covers the parts the grid cannot:
+
+* the engine cache must never serve a python-engine result where a
+  fast-engine one was asked for (the backend is part of the cell
+  digest),
+* randomized small machines — widths, ROB sizes, presets, ports, and
+  load-buffer capacities the pinned grid never visits — must still
+  agree counter-for-counter across backends, and
+* bench reports carry the ``backend`` tag and ``diff_reports`` refuses
+  to compare across it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict, replace
+
+import pytest
+
+from repro.config import base_machine
+from repro.harness.engine import (
+    Cell,
+    ReportBackendMismatch,
+    ResultCache,
+    SweepEngine,
+    diff_reports,
+    sweep_report,
+)
+from repro.pipeline.processor import simulate
+from repro.workload import ALL_BENCHMARKS, generate_trace
+
+#: The CLI's four preset factories, each taking ``ports=``.
+from repro.cli import PRESETS
+
+
+def _machine(preset: str, ports: int, backend: str = "python"):
+    return replace(base_machine(), lsq=PRESETS[preset](ports=ports),
+                   backend=backend)
+
+
+class TestEngineCacheSeparation:
+    def test_backend_is_part_of_the_cell_digest(self):
+        python_cell = Cell(benchmark="gzip",
+                           machine=_machine("conventional", 2, "python"))
+        fast_cell = Cell(benchmark="gzip",
+                         machine=_machine("conventional", 2, "fast"))
+        assert python_cell.digest() != fast_cell.digest(), (
+            "python- and fast-backend cells share a cache digest; a "
+            "cached python result could be served for a fast run")
+
+    def test_cache_round_trips_each_backend_separately(self, tmp_path,
+                                                       monkeypatch):
+        monkeypatch.setenv("REPRO_CODE_VERSION", "fastcore-test")
+        engine = SweepEngine(jobs=1, cache=ResultCache(tmp_path / "c"))
+        cells = {backend: Cell(benchmark="gzip", n_instructions=300,
+                               machine=_machine("full", 1, backend))
+                 for backend in ("python", "fast")}
+        first = {b: engine.run_cell(cell) for b, cell in cells.items()}
+        assert not first["python"].cached and not first["fast"].cached
+        second = {b: engine.run_cell(cell) for b, cell in cells.items()}
+        assert second["python"].cached and second["fast"].cached
+        # Distinct entries, identical modeled outcome.
+        assert asdict(first["python"].result.stats) == \
+            asdict(first["fast"].result.stats)
+        assert asdict(second["fast"].result.stats) == \
+            asdict(first["fast"].result.stats)
+
+
+class TestRandomConfigParity:
+    def test_fifty_random_small_configs_are_bit_identical(self):
+        """Property-style sweep: 50 random small machines, both
+        backends, every counter equal.  The seed is fixed so a failure
+        reproduces; the configs deliberately wander outside the golden
+        grid (narrow machines, tiny ROBs, odd load-buffer sizes)."""
+        rng = random.Random(0xF457C0DE)
+        for case in range(50):
+            preset = rng.choice(sorted(PRESETS))
+            ports = rng.choice([1, 2])
+            lsq = PRESETS[preset](ports=ports)
+            if lsq.load_buffer_entries and rng.random() < 0.5:
+                lsq = replace(lsq,
+                              load_buffer_entries=rng.choice([1, 2, 4]))
+            width = rng.choice([2, 4, 8])
+            core = replace(base_machine().core, fetch_width=width,
+                           issue_width=width, commit_width=width,
+                           rob_entries=rng.choice([48, 96, 256]))
+            bench = rng.choice(ALL_BENCHMARKS)
+            n = rng.randrange(150, 450)
+            trace = generate_trace(bench, n_instructions=n,
+                                   seed=rng.randrange(10_000))
+            stats = {}
+            for backend in ("python", "fast"):
+                machine = replace(base_machine(), core=core, lsq=lsq,
+                                  backend=backend)
+                stats[backend] = asdict(simulate(trace, machine).stats)
+            diffs = {field: (stats["python"][field], stats["fast"][field])
+                     for field in stats["python"]
+                     if stats["python"][field] != stats["fast"][field]}
+            assert not diffs, (
+                f"case {case}: {bench} n={n} {preset}-{ports}p "
+                f"width={width} rob={core.rob_entries} "
+                f"lb={lsq.load_buffer_entries} diverged: {diffs}")
+
+
+class TestBackendTaggedReports:
+    def _report(self, backend: str):
+        cell = Cell(benchmark="gzip", n_instructions=200,
+                    machine=_machine("conventional", 2, backend))
+        engine = SweepEngine(jobs=1, cache=None)
+        results = [engine.run_cell(cell)]
+        return sweep_report(results, jobs=1, cache=None, wall_s=0.1)
+
+    def test_sweep_report_records_the_backend(self):
+        assert self._report("fast")["backend"] == "fast"
+        assert self._report("python")["backend"] == "python"
+
+    def test_diff_reports_refuses_mismatched_backends(self):
+        with pytest.raises(ReportBackendMismatch):
+            diff_reports(self._report("python"), self._report("fast"))
+
+    def test_diff_reports_treats_untagged_reports_as_python(self):
+        old = self._report("python")
+        del old["backend"]
+        # Legacy (pre-tag) baseline vs a tagged python run: comparable.
+        assert diff_reports(old, self._report("python")) == []
+        with pytest.raises(ReportBackendMismatch):
+            diff_reports(old, self._report("fast"))
+
+
+class TestCheckerFallback:
+    def test_fast_backend_with_checker_still_validates(self):
+        """A checker-attached run falls back to the reference engine
+        (documented); stats must match a plain fast run exactly."""
+        from repro.validate import ValidationChecker
+
+        trace = generate_trace("gzip", n_instructions=400, seed=3)
+        machine = _machine("full", 1, "fast")
+        checked = simulate(trace, machine,
+                           checker=ValidationChecker())
+        plain = simulate(trace, machine)
+        assert asdict(checked.stats) == asdict(plain.stats)
